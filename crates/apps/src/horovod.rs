@@ -1,0 +1,143 @@
+//! Horovod-style synchronous data-parallel training (paper ref \[41\]).
+//!
+//! "Horovod … uses MPI_Allreduce to average gradients. We use
+//! tf_cnn_benchmarks with synthetic datasets to train AlexNet on
+//! Stampede2." Each training step computes gradients locally (modelled
+//! compute), then allreduces the fused gradient buffers; throughput is
+//! reported in images/second (Fig. 15).
+//!
+//! Gradient fusion mirrors Horovod's tensor-fusion buffer: the gradient
+//! vector is reduced in `fusion_bytes` chunks, sequentially (Horovod
+//! serializes fusion buffers on its background thread).
+
+use han_colls::stack::{build_coll, Coll, MpiStack};
+use han_machine::{Machine, MachinePreset};
+use han_mpi::{execute, ExecOpts};
+use han_sim::Time;
+
+/// Trainer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HorovodConfig {
+    /// Total gradient size in bytes (AlexNet ≈ 62 M f32 params ≈ 249 MB).
+    pub grad_bytes: u64,
+    /// Fusion-buffer size (Horovod default 64 MB).
+    pub fusion_bytes: u64,
+    /// Modelled forward+backward time per image on one rank.
+    pub time_per_image: Time,
+    /// Per-rank batch size (images per step per process).
+    pub batch_per_rank: u64,
+}
+
+impl Default for HorovodConfig {
+    fn default() -> Self {
+        HorovodConfig {
+            grad_bytes: 249 << 20,
+            fusion_bytes: 64 << 20,
+            time_per_image: Time::from_ms(80),
+            batch_per_rank: 4,
+        }
+    }
+}
+
+/// Throughput report for one machine scale.
+#[derive(Debug, Clone, Copy)]
+pub struct HorovodReport {
+    pub procs: usize,
+    pub step_time: Time,
+    pub comm_time: Time,
+    pub compute_time: Time,
+    /// Aggregate training throughput (the Fig. 15 metric).
+    pub images_per_sec: f64,
+}
+
+/// Run one (steady-state) training step under `stack` and derive
+/// throughput. Synchronous SGD: `step = compute + allreduce`.
+pub fn run_horovod(
+    stack: &dyn MpiStack,
+    preset: &MachinePreset,
+    cfg: &HorovodConfig,
+) -> HorovodReport {
+    let procs = preset.topology.world_size();
+    let mut machine = Machine::from_preset(preset);
+    let opts = ExecOpts::timing(stack.flavor().p2p());
+
+    // Allreduce the gradient in fusion-buffer chunks, sequentially.
+    let mut comm_time = Time::ZERO;
+    let mut remaining = cfg.grad_bytes;
+    while remaining > 0 {
+        let chunk = remaining.min(cfg.fusion_bytes);
+        let prog = build_coll(stack, preset, Coll::Allreduce, chunk, 0);
+        comm_time += execute(&mut machine, &prog, &opts).makespan;
+        remaining -= chunk;
+    }
+
+    let compute_time = cfg.time_per_image * cfg.batch_per_rank;
+    let step_time = compute_time + comm_time;
+    let images = (procs as u64 * cfg.batch_per_rank) as f64;
+    HorovodReport {
+        procs,
+        step_time,
+        comm_time,
+        compute_time,
+        images_per_sec: images / step_time.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use han_colls::{IntraModule, TunedOpenMpi};
+    use han_core::{Han, HanConfig};
+    use han_machine::mini;
+
+    fn small_cfg() -> HorovodConfig {
+        HorovodConfig {
+            grad_bytes: 8 << 20,
+            fusion_bytes: 4 << 20,
+            time_per_image: Time::from_ms(20),
+            batch_per_rank: 4,
+        }
+    }
+
+    #[test]
+    fn report_consistency() {
+        let preset = mini(2, 4);
+        let rep = run_horovod(&TunedOpenMpi, &preset, &small_cfg());
+        assert_eq!(rep.procs, 8);
+        assert_eq!(rep.step_time, rep.comm_time + rep.compute_time);
+        assert!(rep.images_per_sec > 0.0);
+        // Two fusion chunks of 4 MB each.
+        assert!(rep.comm_time > Time::ZERO);
+    }
+
+    #[test]
+    fn throughput_scales_with_procs_sublinearly() {
+        let cfg = small_cfg();
+        let t2 = run_horovod(&TunedOpenMpi, &mini(2, 4), &cfg);
+        let t4 = run_horovod(&TunedOpenMpi, &mini(4, 4), &cfg);
+        assert!(t4.images_per_sec > t2.images_per_sec, "more procs, more images/s");
+        // But not superlinear: allreduce cost grows with scale.
+        assert!(t4.images_per_sec < t2.images_per_sec * 2.2);
+    }
+
+    #[test]
+    fn han_beats_tuned_throughput() {
+        let cfg = small_cfg();
+        let preset = mini(4, 4);
+        let han = Han::with_config(
+            HanConfig::default()
+                .with_fs(1 << 20)
+                .with_intra(IntraModule::Solo),
+        );
+        let h = run_horovod(&han, &preset, &cfg);
+        let t = run_horovod(&TunedOpenMpi, &preset, &cfg);
+        assert!(
+            h.images_per_sec > t.images_per_sec,
+            "HAN {} img/s vs tuned {} img/s",
+            h.images_per_sec,
+            t.images_per_sec
+        );
+        // Compute model identical; the gain is all communication.
+        assert_eq!(h.compute_time, t.compute_time);
+    }
+}

@@ -1,0 +1,22 @@
+//! # han-apps — the applications of the paper's evaluation (section IV-B)
+//!
+//! * [`asp`] — ASP, a parallel Floyd–Warshall all-pairs-shortest-path
+//!   solver: row-block distribution, one `MPI_Bcast` of the pivot row per
+//!   iteration, processes taking turns as root. Bcast dominates
+//!   communication (Table III).
+//! * [`horovod`] — a Horovod-style synchronous data-parallel trainer:
+//!   per-step gradient averaging via `MPI_Allreduce` over fused gradient
+//!   buffers (Fig. 15, AlexNet/tf_cnn_benchmarks-like configuration).
+//!
+//! Both applications are generic over [`han_colls::MpiStack`], so every
+//! stack in the paper's comparison — HAN, default Open MPI, Cray MPI,
+//! Intel MPI, MVAPICH2 — runs the identical application code. Computation
+//! is modelled (virtual seconds per unit of work) while communication runs
+//! through the full simulated stack; data-mode tests verify the actual
+//! shortest-path and gradient arithmetic at small scale.
+
+pub mod asp;
+pub mod horovod;
+
+pub use asp::{run_asp, AspConfig, AspReport};
+pub use horovod::{run_horovod, HorovodConfig, HorovodReport};

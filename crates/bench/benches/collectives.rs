@@ -1,0 +1,110 @@
+//! Criterion benches over the collective stacks — the wall-clock cost of
+//! *simulating* each paper-figure family at mini scale. These guard the
+//! engine's performance (the tuning experiments run thousands of these
+//! simulations) and pin the relative build/execute costs of each stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use han_colls::stack::{build_coll, time_coll_on, Coll, MpiStack};
+use han_colls::{TunedOpenMpi, VendorMpi};
+use han_core::{Han, HanConfig};
+use han_machine::{mini, Machine};
+use han_mpi::{execute, ExecOpts};
+use std::hint::black_box;
+
+/// Fig. 10/12 family: broadcast across stacks.
+fn bench_bcast_stacks(c: &mut Criterion) {
+    let preset = mini(4, 8);
+    let mut group = c.benchmark_group("fig10_fig12_bcast");
+    group.sample_size(20);
+    let han = Han::with_config(HanConfig::default().with_fs(128 * 1024));
+    let stacks: Vec<(&str, &dyn MpiStack)> = vec![
+        ("han", &han),
+        ("tuned", &TunedOpenMpi),
+    ];
+    let cray = VendorMpi::cray();
+    let mut stacks = stacks;
+    stacks.push(("cray", &cray));
+    for (name, stack) in stacks {
+        for bytes in [64 * 1024u64, 4 << 20] {
+            let mut machine = Machine::from_preset(&preset);
+            group.bench_with_input(
+                BenchmarkId::new(name, bytes),
+                &bytes,
+                |b, &bytes| {
+                    b.iter(|| {
+                        black_box(time_coll_on(
+                            stack,
+                            &mut machine,
+                            &preset,
+                            Coll::Bcast,
+                            bytes,
+                            0,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 13/14 family: allreduce across stacks.
+fn bench_allreduce_stacks(c: &mut Criterion) {
+    let preset = mini(4, 8);
+    let mut group = c.benchmark_group("fig13_fig14_allreduce");
+    group.sample_size(20);
+    let han = Han::with_config(
+        HanConfig::default()
+            .with_fs(512 * 1024)
+            .with_intra(han_colls::IntraModule::Solo),
+    );
+    let mvapich = VendorMpi::mvapich2();
+    let stacks: Vec<(&str, &dyn MpiStack)> = vec![
+        ("han", &han),
+        ("tuned", &TunedOpenMpi),
+        ("mvapich2", &mvapich),
+    ];
+    for (name, stack) in stacks {
+        let mut machine = Machine::from_preset(&preset);
+        group.bench_function(BenchmarkId::new(name, 4 << 20), |b| {
+            b.iter(|| {
+                black_box(time_coll_on(
+                    stack,
+                    &mut machine,
+                    &preset,
+                    Coll::Allreduce,
+                    4 << 20,
+                    0,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Engine microbenchmarks: program build vs execute split.
+fn bench_engine(c: &mut Criterion) {
+    let preset = mini(8, 8);
+    let han = Han::with_config(HanConfig::default().with_fs(256 * 1024));
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+    group.bench_function("build_bcast_4M", |b| {
+        b.iter(|| black_box(build_coll(&han, &preset, Coll::Bcast, 4 << 20, 0)))
+    });
+    let prog = build_coll(&han, &preset, Coll::Bcast, 4 << 20, 0);
+    let mut machine = Machine::from_preset(&preset);
+    let opts = ExecOpts::timing(han_machine::Flavor::OpenMpi.p2p());
+    group.throughput(criterion::Throughput::Elements(prog.len() as u64));
+    group.bench_function("execute_bcast_4M_ops", |b| {
+        b.iter(|| black_box(execute(&mut machine, &prog, &opts).makespan))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bcast_stacks,
+    bench_allreduce_stacks,
+    bench_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benches for the autotuning paths (the Fig. 8 cost structure,
+//! measured in wall-clock simulation time at mini scale): one whole-
+//! collective exhaustive probe vs one task-benchmark probe vs a cached
+//! model prediction, plus the Netpipe (Fig. 11) and application probes
+//! (Table III / Fig. 15).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use han_bench::netpipe::ping_pong;
+use han_colls::stack::{time_coll_on, Coll};
+use han_colls::TunedOpenMpi;
+use han_core::task::TaskSpec;
+use han_core::{Han, HanConfig};
+use han_machine::{mini, Flavor, Machine};
+use han_tuner::TaskBench;
+use std::hint::black_box;
+
+fn bench_tuning_probes(c: &mut Criterion) {
+    let preset = mini(4, 8);
+    let cfg = HanConfig::default().with_fs(256 * 1024);
+    let mut group = c.benchmark_group("fig8_tuning_probes");
+    group.sample_size(20);
+
+    // One exhaustive probe: simulate the whole collective.
+    let han = Han::with_config(cfg);
+    let mut machine = Machine::from_preset(&preset);
+    group.bench_function("exhaustive_probe_4M", |b| {
+        b.iter(|| {
+            black_box(time_coll_on(
+                &han,
+                &mut machine,
+                &preset,
+                Coll::Bcast,
+                4 << 20,
+                0,
+            ))
+        })
+    });
+
+    // One task probe: simulate a single sbib task (fresh bench each time
+    // so the cache cannot short-circuit the measurement).
+    group.bench_function("task_probe_sbib", |b| {
+        b.iter(|| {
+            let mut tb = TaskBench::new(&preset);
+            black_box(tb.first_cost(&cfg, TaskSpec::SBIB, cfg.fs))
+        })
+    });
+
+    // Model prediction with a warm cache: this is what scanning a new
+    // message size costs the task-based tuner — effectively nothing.
+    let mut tb = TaskBench::new(&preset);
+    han_tuner::model::predict(&mut tb, &cfg, Coll::Bcast, 4 << 20);
+    group.bench_function("model_predict_cached", |b| {
+        b.iter(|| black_box(han_tuner::model::predict(&mut tb, &cfg, Coll::Bcast, 8 << 20)))
+    });
+    group.finish();
+}
+
+fn bench_netpipe(c: &mut Criterion) {
+    let preset = mini(2, 2);
+    let mut group = c.benchmark_group("fig11_netpipe");
+    group.sample_size(30);
+    group.bench_function("ping_pong_1M", |b| {
+        b.iter(|| black_box(ping_pong(&preset, Flavor::OpenMpi, 1 << 20)))
+    });
+    group.finish();
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let preset = mini(2, 4);
+    let mut group = c.benchmark_group("table3_fig15_apps");
+    group.sample_size(10);
+    group.bench_function("asp_iteration", |b| {
+        let cfg = han_apps::AspConfig {
+            vertices: 1024,
+            flops: 1e9,
+            iterations: Some(1),
+        };
+        b.iter(|| black_box(han_apps::run_asp(&TunedOpenMpi, &preset, &cfg)))
+    });
+    group.bench_function("horovod_step", |b| {
+        let cfg = han_apps::HorovodConfig {
+            grad_bytes: 4 << 20,
+            fusion_bytes: 4 << 20,
+            time_per_image: han_sim::Time::from_ms(10),
+            batch_per_rank: 2,
+        };
+        b.iter(|| black_box(han_apps::run_horovod(&TunedOpenMpi, &preset, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tuning_probes, bench_netpipe, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! hansim — ad-hoc collective exploration on the simulated cluster.
+//!
+//! ```text
+//! hansim --nodes 8 --ppn 32 --coll bcast --bytes 4194304 \
+//!        [--stack han|tuned|cray|intel|mvapich2] [--fs 524288]
+//!        [--smod sm|solo] [--imod libnbc|adapt] [--alg chain|binary|binomial]
+//!        [--machine shaheen2|stampede2|mini] [--trace out.json]
+//! ```
+//!
+//! Prints the virtual latency (and per-stack comparison when `--stack all`),
+//! optionally dumping a Chrome trace of the execution for inspection in
+//! `chrome://tracing` / Perfetto.
+
+use han_colls::stack::{build_coll, Coll, MpiStack};
+use han_colls::{InterAlg, InterModule, IntraModule, TunedOpenMpi, VendorMpi};
+use han_core::{Han, HanConfig};
+use han_machine::{mini, shaheen2_ppn, stampede2_ppn, Machine, MachinePreset};
+use han_mpi::{trace_execution, ExecOpts};
+
+fn parse_args() -> std::collections::HashMap<String, String> {
+    let mut map = std::collections::HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let val = args.next().unwrap_or_else(|| {
+                eprintln!("missing value for --{key}");
+                std::process::exit(2);
+            });
+            map.insert(key.to_string(), val);
+        }
+    }
+    map
+}
+
+fn stack_by_name(name: &str, cfg: HanConfig) -> Box<dyn MpiStack> {
+    match name {
+        "han" => Box::new(Han::with_config(cfg)),
+        "tuned" => Box::new(TunedOpenMpi),
+        "cray" => Box::new(VendorMpi::cray()),
+        "intel" => Box::new(VendorMpi::intel()),
+        "mvapich2" => Box::new(VendorMpi::mvapich2()),
+        other => {
+            eprintln!("unknown stack '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let get = |k: &str, d: &str| args.get(k).cloned().unwrap_or_else(|| d.to_string());
+
+    let nodes: usize = get("nodes", "4").parse().expect("--nodes");
+    let ppn: usize = get("ppn", "8").parse().expect("--ppn");
+    let bytes: u64 = get("bytes", "1048576").parse().expect("--bytes");
+    let coll = match get("coll", "bcast").as_str() {
+        "bcast" => Coll::Bcast,
+        "allreduce" => Coll::Allreduce,
+        "reduce" => Coll::Reduce,
+        "gather" => Coll::Gather,
+        "scatter" => Coll::Scatter,
+        "allgather" => Coll::Allgather,
+        "barrier" => Coll::Barrier,
+        other => {
+            eprintln!("unknown collective '{other}'");
+            std::process::exit(2);
+        }
+    };
+    let preset: MachinePreset = match get("machine", "mini").as_str() {
+        "shaheen2" => shaheen2_ppn(nodes, ppn),
+        "stampede2" => stampede2_ppn(nodes, ppn),
+        _ => mini(nodes, ppn),
+    };
+
+    let mut cfg = HanConfig::default();
+    if let Some(fs) = args.get("fs") {
+        cfg.fs = fs.parse().expect("--fs");
+    }
+    if let Some(s) = args.get("smod") {
+        cfg.smod = match s.as_str() {
+            "solo" => IntraModule::Solo,
+            _ => IntraModule::Sm,
+        };
+    }
+    if let Some(s) = args.get("imod") {
+        cfg.imod = match s.as_str() {
+            "libnbc" => InterModule::Libnbc,
+            _ => InterModule::Adapt,
+        };
+    }
+    if let Some(a) = args.get("alg") {
+        let alg = match a.as_str() {
+            "chain" => InterAlg::Chain,
+            "binary" => InterAlg::Binary,
+            _ => InterAlg::Binomial,
+        };
+        cfg.ibalg = alg;
+        cfg.iralg = alg;
+    }
+
+    let which = get("stack", "all");
+    let names: Vec<&str> = if which == "all" {
+        vec!["han", "tuned", "cray", "intel", "mvapich2"]
+    } else {
+        vec![which.as_str()]
+    };
+
+    println!(
+        "{} on {} ({} nodes x {} ppn = {} ranks), {} bytes",
+        coll.name(),
+        preset.name,
+        nodes,
+        ppn,
+        nodes * ppn,
+        bytes
+    );
+    println!("HAN config: {cfg}\n");
+    for name in names {
+        let stack = stack_by_name(name, cfg);
+        let prog = build_coll(stack.as_ref(), &preset, coll, bytes, 0);
+        let mut machine = Machine::from_preset(&preset);
+        let opts = ExecOpts::timing(stack.flavor().p2p());
+        let (report, trace) = trace_execution(&mut machine, &prog, &opts);
+        println!(
+            "{:>18}: {:>12}  ({} ops, {} events)",
+            stack.name(),
+            report.makespan.to_string(),
+            prog.len(),
+            report.events
+        );
+        if let Some(path) = args.get("trace") {
+            let p = if which == "all" {
+                format!("{name}_{path}")
+            } else {
+                path.clone()
+            };
+            trace.save(std::path::Path::new(&p)).expect("write trace");
+            println!("{:>18}  trace written to {p}", "");
+        }
+    }
+}

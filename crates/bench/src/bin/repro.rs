@@ -1,0 +1,754 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p han-bench --release --bin repro -- <what> [--scale mini|paper]
+//! ```
+//!
+//! `<what>` ∈ `fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+//! fig14 fig15 table3 ablation-pipeline ablation-irib ablation-models all`.
+//!
+//! `--scale paper` (default) uses the paper's machine shapes (Shaheen II:
+//! 128×32 = 4096 ranks; Stampede2: 32×48 = 1536; tuning: 64×12 = 768).
+//! `--scale mini` shrinks every experiment for quick smoke runs.
+//!
+//! All timings are **virtual (simulated) seconds**; the goal is shape
+//! fidelity (who wins, by what factor, where the crossovers are), not the
+//! testbeds' absolute microseconds. See `EXPERIMENTS.md`.
+
+use han_bench::report::{save_json, size_label, us, Table};
+use han_bench::{imb_sweep, netpipe_sweep, sizes};
+use han_colls::stack::{time_coll, time_coll_on, Coll, MpiStack};
+use han_colls::{InterAlg, InterModule, IntraModule, TunedOpenMpi, VendorMpi};
+use han_core::task::TaskSpec;
+use han_core::{Han, HanConfig};
+use han_machine::{shaheen2_ppn, stampede2_ppn, Flavor, Machine, MachinePreset};
+use han_sim::{Summary, Time};
+use han_tuner::{tune, LookupTable, SearchSpace, Strategy, TaskBench};
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scale {
+    Paper,
+    Mini,
+}
+
+struct Cfg {
+    scale: Scale,
+}
+
+impl Cfg {
+    fn shaheen(&self) -> MachinePreset {
+        match self.scale {
+            Scale::Paper => shaheen2_ppn(128, 32), // 4096 procs (Figs. 10/13)
+            Scale::Mini => shaheen2_ppn(8, 8),
+        }
+    }
+
+    fn stampede(&self) -> MachinePreset {
+        match self.scale {
+            Scale::Paper => stampede2_ppn(32, 48), // 1536 procs (Figs. 12/14)
+            Scale::Mini => stampede2_ppn(4, 8),
+        }
+    }
+
+    fn tuning(&self) -> MachinePreset {
+        match self.scale {
+            Scale::Paper => shaheen2_ppn(64, 12), // Figs. 4/8/9
+            Scale::Mini => shaheen2_ppn(8, 4),
+        }
+    }
+
+    fn max_msg(&self) -> u64 {
+        match self.scale {
+            Scale::Paper => 128 << 20,
+            Scale::Mini => 4 << 20,
+        }
+    }
+
+    fn validation_msg(&self) -> u64 {
+        match self.scale {
+            Scale::Paper => 4 << 20, // Figs. 4/7 use 4 MB
+            Scale::Mini => 1 << 20,
+        }
+    }
+}
+
+/// The (imod, algorithm) combinations the paper's task figures sweep.
+fn inter_combos() -> Vec<(InterModule, InterAlg, &'static str)> {
+    vec![
+        (InterModule::Libnbc, InterAlg::Binomial, "libnbc"),
+        (InterModule::Adapt, InterAlg::Chain, "adapt/chain"),
+        (InterModule::Adapt, InterAlg::Binary, "adapt/binary"),
+        (InterModule::Adapt, InterAlg::Binomial, "adapt/binomial"),
+    ]
+}
+
+fn combo_cfg(imod: InterModule, alg: InterAlg, smod: IntraModule, fs: u64) -> HanConfig {
+    HanConfig {
+        fs,
+        imod,
+        smod,
+        ibalg: alg,
+        iralg: alg,
+        ibs: None,
+        irs: None,
+    }
+}
+
+/// Tune (or load a cached) lookup table for a preset via the task-based
+/// strategy — how HAN is configured in every end-to-end figure. Tables
+/// always cover both collectives over the full 4 B – 128 MB range so the
+/// cache is valid for every figure that shares the machine.
+fn tuned_table(preset: &MachinePreset, label: &str) -> LookupTable {
+    let path = std::path::Path::new("results").join(format!("table_{label}.json"));
+    let colls = [Coll::Bcast, Coll::Allreduce];
+    if let Ok(t) = LookupTable::load(&path) {
+        let complete = colls
+            .iter()
+            .all(|&c| t.sampled_sizes(c).last().copied().unwrap_or(0) >= 128 << 20);
+        if t.nodes == preset.topology.nodes() && t.ppn == preset.topology.ppn() && complete {
+            return t;
+        }
+    }
+    let mut space = SearchSpace::standard();
+    space.msg_sizes = sizes(4, 128 << 20);
+    let result = tune(preset, &space, &colls, Strategy::TaskBasedHeuristic);
+    std::fs::create_dir_all("results").ok();
+    result.table.save(&path).ok();
+    result.table
+}
+
+fn han_for(preset: &MachinePreset, label: &str) -> Han {
+    Han::tuned(Arc::new(tuned_table(preset, label)))
+}
+
+// ---------------------------------------------------------------- figures
+
+/// Fig. 2: cost of tasks ib, sb, ib∥sb and sbib (with ib(0) start skew)
+/// on each node leader, 64 KB segments, 6 nodes, rank 0 as root.
+fn fig2(_cfg: &Cfg) {
+    println!("## Fig. 2 — cost of tasks ib, sb, ib||sb, sbib per node leader");
+    println!("   (64KB segments, 6 nodes x 12 ranks, root 0; times in us)\n");
+    let preset = shaheen2_ppn(6, 12);
+    let seg = 64 * 1024;
+    let mut out = Vec::new();
+    for smod in [IntraModule::Sm] {
+        for (imod, alg, name) in inter_combos() {
+            let hc = combo_cfg(imod, alg, smod, seg);
+            let mut tb = TaskBench::new(&preset);
+            let ib = tb.first_cost(&hc, TaskSpec::IB, seg);
+            let sb = tb.first_cost(&hc, TaskSpec::SB, seg);
+            let concurrent = tb.first_cost(&hc, TaskSpec::SBIB, seg);
+            // sbib with delayed participation = occurrence 1 after ib(0).
+            let trace = tb.occurrence_trace(&hc, &[TaskSpec::IB], TaskSpec::SBIB, seg, 1);
+            let sbib = &trace[0];
+            let mut t = Table::new(&["leader", "ib(0)", "sb(0)", "ib||sb", "sbib(1)"]);
+            for l in 0..preset.topology.nodes() {
+                t.row(vec![
+                    l.to_string(),
+                    us(ib[l]),
+                    us(sb[l]),
+                    us(concurrent[l]),
+                    us(sbib[l]),
+                ]);
+            }
+            println!("### {name} + {smod}\n{}", t.render());
+            out.push((
+                name.to_string(),
+                ib.iter().map(|t| t.as_ps()).collect::<Vec<_>>(),
+                sbib.iter().map(|t| t.as_ps()).collect::<Vec<_>>(),
+            ));
+        }
+    }
+    save_json("fig2", &out).ok();
+}
+
+/// Fig. 3: cost of sbib(i), i = 1..8, on one node leader — the
+/// stabilization trend that justifies using sbib(s).
+fn fig3(cfg: &Cfg) {
+    println!("## Fig. 3 — cost of sbib(i) on node leader 2 (stabilization)\n");
+    let preset = cfg.tuning();
+    let leader = 2.min(preset.topology.nodes() - 1);
+    let mut out = Vec::new();
+    for (imod, alg, name) in inter_combos() {
+        for seg in [64 * 1024u64, 512 * 1024] {
+            let hc = combo_cfg(imod, alg, IntraModule::Sm, seg);
+            let mut tb = TaskBench::new(&preset).with_max_occurrences(8);
+            let trace = tb.occurrence_trace(&hc, &[TaskSpec::IB], TaskSpec::SBIB, seg, 8);
+            let series: Vec<Time> = trace.iter().map(|occ| occ[leader]).collect();
+            let cells: Vec<String> = series.iter().map(|t| us(*t)).collect();
+            println!(
+                "{name:>16} seg={:>5}:  {}",
+                size_label(seg),
+                cells.join("  ")
+            );
+            out.push((name.to_string(), seg, series.iter().map(|t| t.as_ps()).collect::<Vec<_>>()));
+        }
+    }
+    println!("\n(columns are sbib(1) .. sbib(8); values stabilize after the first few)\n");
+    save_json("fig3", &out).ok();
+}
+
+/// Figs. 4/7 shared: model-estimated vs actual time across segment sizes
+/// for every submodule combination; checks that the best-estimated and
+/// best-actual configurations agree.
+fn model_validation(cfg: &Cfg, coll: Coll, fig: &str) {
+    let preset = cfg.tuning();
+    let m = cfg.validation_msg();
+    println!(
+        "## {fig} — {} cost model validation ({} message, {} nodes x {} ppn)\n",
+        coll.name(),
+        size_label(m),
+        preset.topology.nodes(),
+        preset.topology.ppn()
+    );
+    let seg_sizes = sizes(16 * 1024, m.min(4 << 20));
+    let mut best_est: Option<(Time, HanConfig)> = None;
+    let mut best_act: Option<(Time, HanConfig)> = None;
+    let mut tb = TaskBench::new(&preset);
+    let mut machine = Machine::from_preset(&preset);
+    let mut out = Vec::new();
+    for smod in [IntraModule::Sm, IntraModule::Solo] {
+        for (imod, alg, name) in inter_combos() {
+            let mut t = Table::new(&["fs", "estimated", "actual", "err%"]);
+            for &fs in &seg_sizes {
+                let hc = combo_cfg(imod, alg, smod, fs);
+                let est = han_tuner::model::predict(&mut tb, &hc, coll, m);
+                let han = Han::with_config(hc);
+                let act = time_coll_on(&han, &mut machine, &preset, coll, m, 0);
+                let err = 100.0 * (est.as_ps() as f64 - act.as_ps() as f64) / act.as_ps() as f64;
+                t.row(vec![
+                    size_label(fs),
+                    us(est),
+                    us(act),
+                    format!("{err:+.1}"),
+                ]);
+                if best_est.map(|(b, _)| est < b).unwrap_or(true) {
+                    best_est = Some((est, hc));
+                }
+                if best_act.map(|(b, _)| act < b).unwrap_or(true) {
+                    best_act = Some((act, hc));
+                }
+                out.push((name.to_string(), smod.to_string(), fs, est.as_ps(), act.as_ps()));
+            }
+            println!("### {name} + {smod}\n{}", t.render());
+        }
+    }
+    let (_, ce) = best_est.unwrap();
+    let (ta, ca) = best_act.unwrap();
+    println!("best estimated config: {ce}");
+    println!("best actual    config: {ca}  ({})", us(ta));
+    let han_est = Han::with_config(ce);
+    let achieved = time_coll_on(&han_est, &mut machine, &preset, coll, m, 0);
+    println!(
+        "model-picked config achieves {} = {:.1}% of true optimum\n",
+        us(achieved),
+        100.0 * ta.as_ps() as f64 / achieved.as_ps() as f64
+    );
+    save_json(fig, &out).ok();
+}
+
+fn fig4(cfg: &Cfg) {
+    model_validation(cfg, Coll::Bcast, "fig4");
+}
+
+fn fig7(cfg: &Cfg) {
+    model_validation(cfg, Coll::Allreduce, "fig7");
+}
+
+/// Fig. 6: overlap between ib and ir (opposite network directions).
+fn fig6(_cfg: &Cfg) {
+    println!("## Fig. 6 — overlap between ib and ir (root 0; times in us)\n");
+    let preset = shaheen2_ppn(6, 12);
+    let seg = 512 * 1024;
+    let mut out = Vec::new();
+    for (imod, alg, name) in inter_combos() {
+        let hc = combo_cfg(imod, alg, IntraModule::Sm, seg);
+        let mut tb = TaskBench::new(&preset);
+        let ib = tb.first_cost(&hc, TaskSpec::IB, seg);
+        let ir = tb.first_cost(&hc, TaskSpec::IR, seg);
+        let both = tb.first_cost(&hc, TaskSpec::IBIR, seg);
+        let mut t = Table::new(&["leader", "ib", "ir", "ib||ir", "saved (us)"]);
+        for l in 0..preset.topology.nodes() {
+            // Time saved by overlap vs running the two tasks serially
+            // (negative = interference outweighed overlap on this leader).
+            let saved = (ib[l] + ir[l]).as_ps() as i128 - both[l].as_ps() as i128;
+            t.row(vec![
+                l.to_string(),
+                us(ib[l]),
+                us(ir[l]),
+                us(both[l]),
+                format!("{:+.1}", saved as f64 / 1e6),
+            ]);
+        }
+        println!("### {name}\n{}", t.render());
+        out.push((name.to_string(), ib.len()));
+    }
+    save_json("fig6", &out).ok();
+}
+
+/// Fig. 8: total tuning time of the four strategies.
+fn fig8(cfg: &Cfg) -> [han_tuner::TuneResult; 4] {
+    let preset = cfg.tuning();
+    println!(
+        "## Fig. 8 — total search time, Bcast+Allreduce, {} nodes x {} ppn\n",
+        preset.topology.nodes(),
+        preset.topology.ppn()
+    );
+    let mut space = SearchSpace::standard();
+    if cfg.scale == Scale::Mini {
+        space.msg_sizes = sizes(4, 1 << 20);
+        space.seg_sizes = sizes(16 * 1024, 512 * 1024);
+    }
+    let colls = [Coll::Bcast, Coll::Allreduce];
+    let results: Vec<han_tuner::TuneResult> = Strategy::ALL
+        .iter()
+        .map(|&s| tune(&preset, &space, &colls, s))
+        .collect();
+    let base = results[0].tuning_time.as_secs_f64();
+    let mut t = Table::new(&["strategy", "searches", "virtual time", "% of exhaustive"]);
+    let mut out = Vec::new();
+    for r in &results {
+        t.row(vec![
+            r.strategy.name().to_string(),
+            r.searches.to_string(),
+            format!("{:.2}s", r.tuning_time.as_secs_f64()),
+            format!("{:.1}%", 100.0 * r.tuning_time.as_secs_f64() / base),
+        ]);
+        out.push((
+            r.strategy.name().to_string(),
+            r.searches,
+            r.tuning_time.as_ps(),
+        ));
+    }
+    println!("{}", t.render());
+    save_json("fig8", &out).ok();
+    results
+        .try_into()
+        .unwrap_or_else(|_| unreachable!("four strategies"))
+}
+
+/// Fig. 9: achieved collective latency per tuning method, against the
+/// exhaustive best/median/average.
+fn fig9(cfg: &Cfg) {
+    let results = fig8(cfg);
+    let preset = cfg.tuning();
+    println!("## Fig. 9 — achieved latency by tuning method (us)\n");
+    let probe_sizes: Vec<u64> = results[0]
+        .table
+        .sampled_sizes(Coll::Bcast)
+        .into_iter()
+        .filter(|&m| m >= 64 * 1024)
+        .collect();
+    let mut out = Vec::new();
+    for coll in [Coll::Bcast, Coll::Allreduce] {
+        let mut t = Table::new(&[
+            "size", "best", "median", "average", "HAN", "exh+heur", "HAN+heur",
+        ]);
+        for &m in &probe_sizes {
+            let dist = Summary::from_iter(
+                results[0]
+                    .samples
+                    .iter()
+                    .filter(|(c, mm, _, _)| *c == coll && *mm == m)
+                    .map(|(_, _, _, t)| *t),
+            );
+            let achieved = |r: &han_tuner::TuneResult| {
+                han_tuner::search::achieved_latency(&preset, &r.table, coll, m)
+            };
+            t.row(vec![
+                size_label(m),
+                us(dist.best()),
+                us(dist.median()),
+                us(dist.average()),
+                us(achieved(&results[2])),
+                us(achieved(&results[1])),
+                us(achieved(&results[3])),
+            ]);
+            out.push((
+                coll.name(),
+                m,
+                dist.best().as_ps(),
+                dist.median().as_ps(),
+                achieved(&results[2]).as_ps(),
+            ));
+        }
+        println!("### {}\n{}", coll.name(), t.render());
+    }
+    save_json("fig9", &out).ok();
+}
+
+/// Shared driver for the four IMB comparison figures (10, 12, 13, 14).
+fn imb_figure(
+    fig: &str,
+    preset: &MachinePreset,
+    coll: Coll,
+    stacks: Vec<Box<dyn MpiStack>>,
+    max_msg: u64,
+) {
+    println!(
+        "## {fig} — {} on {} ({} procs); latency in us\n",
+        coll.name(),
+        preset.name,
+        preset.topology.world_size()
+    );
+    let refs: Vec<&dyn MpiStack> = stacks.iter().map(|b| b.as_ref()).collect();
+    let rows = imb_sweep(&refs, preset, coll, &sizes(4, max_msg));
+    let mut header = vec!["size".to_string()];
+    header.extend(stacks.iter().map(|s| s.name()));
+    let mut t = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for row in &rows {
+        let mut cells = vec![size_label(row.bytes)];
+        cells.extend(row.results.iter().map(|(_, time)| us(*time)));
+        t.row(cells);
+    }
+    println!("{}", t.render());
+    // Speedup summary vs each competitor (the paper's headline numbers).
+    let han = stacks[0].name();
+    for other in stacks.iter().skip(1) {
+        let mut small_best = 0f64;
+        let mut large_best = 0f64;
+        for row in &rows {
+            let s = row.speedup(&han, &other.name()).unwrap_or(1.0);
+            if row.bytes <= 128 * 1024 {
+                small_best = small_best.max(s);
+            } else {
+                large_best = large_best.max(s);
+            }
+        }
+        println!(
+            "max speedup of {han} vs {}: {small_best:.2}x (small), {large_best:.2}x (large)",
+            other.name()
+        );
+    }
+    println!();
+    let json: Vec<(u64, Vec<(String, u64)>)> = rows
+        .iter()
+        .map(|r| {
+            (
+                r.bytes,
+                r.results.iter().map(|(n, t)| (n.clone(), t.as_ps())).collect(),
+            )
+        })
+        .collect();
+    save_json(fig, &json).ok();
+}
+
+fn fig10(cfg: &Cfg) {
+    let preset = cfg.shaheen();
+    let han = han_for(&preset, "shaheen");
+    imb_figure(
+        "fig10",
+        &preset,
+        Coll::Bcast,
+        vec![Box::new(han), Box::new(TunedOpenMpi), Box::new(VendorMpi::cray())],
+        cfg.max_msg(),
+    );
+}
+
+fn fig11(_cfg: &Cfg) {
+    println!("## Fig. 11 — Netpipe P2P bandwidth on Shaheen II (GB/s)\n");
+    let preset = shaheen2_ppn(2, 32);
+    let szs = sizes(1, 64 << 20);
+    let ompi = netpipe_sweep(&preset, Flavor::OpenMpi, &szs);
+    let cray = netpipe_sweep(&preset, Flavor::CrayMpi, &szs);
+    let mut t = Table::new(&["size", "Open MPI", "Cray MPI", "ratio"]);
+    let mut out = Vec::new();
+    for (o, c) in ompi.iter().zip(&cray) {
+        t.row(vec![
+            size_label(o.bytes),
+            format!("{:.3}", o.bandwidth / 1e9),
+            format!("{:.3}", c.bandwidth / 1e9),
+            format!("{:.2}", c.bandwidth / o.bandwidth),
+        ]);
+        out.push((o.bytes, o.bandwidth, c.bandwidth));
+    }
+    println!("{}", t.render());
+    save_json("fig11", &out).ok();
+}
+
+fn fig12(cfg: &Cfg) {
+    let preset = cfg.stampede();
+    let han = han_for(&preset, "stampede");
+    imb_figure(
+        "fig12",
+        &preset,
+        Coll::Bcast,
+        vec![
+            Box::new(han),
+            Box::new(VendorMpi::intel()),
+            Box::new(VendorMpi::mvapich2()),
+            Box::new(TunedOpenMpi),
+        ],
+        cfg.max_msg(),
+    );
+}
+
+fn fig13(cfg: &Cfg) {
+    let preset = cfg.shaheen();
+    let han = han_for(&preset, "shaheen");
+    imb_figure(
+        "fig13",
+        &preset,
+        Coll::Allreduce,
+        vec![Box::new(han), Box::new(TunedOpenMpi), Box::new(VendorMpi::cray())],
+        cfg.max_msg(),
+    );
+}
+
+fn fig14(cfg: &Cfg) {
+    let preset = cfg.stampede();
+    let han = han_for(&preset, "stampede");
+    imb_figure(
+        "fig14",
+        &preset,
+        Coll::Allreduce,
+        vec![
+            Box::new(han),
+            Box::new(VendorMpi::intel()),
+            Box::new(VendorMpi::mvapich2()),
+            Box::new(TunedOpenMpi),
+        ],
+        cfg.max_msg(),
+    );
+}
+
+/// Fig. 15: Horovod/AlexNet throughput scaling.
+fn fig15(cfg: &Cfg) {
+    println!("## Fig. 15 — Horovod (AlexNet-like) images/s on Stampede2\n");
+    let node_counts: Vec<usize> = match cfg.scale {
+        Scale::Paper => vec![1, 2, 4, 8, 16, 32],
+        Scale::Mini => vec![1, 2, 4],
+    };
+    let ppn = match cfg.scale {
+        Scale::Paper => 48,
+        Scale::Mini => 8,
+    };
+    let hv = han_apps::HorovodConfig::default();
+    let mut t = Table::new(&["procs", "HAN", "Intel MPI", "default Open MPI"]);
+    let mut out = Vec::new();
+    for &nodes in &node_counts {
+        let preset = stampede2_ppn(nodes, ppn);
+        let han = han_for(&preset, &format!("stampede_{nodes}x{ppn}"));
+        let h = han_apps::run_horovod(&han, &preset, &hv);
+        let i = han_apps::run_horovod(&VendorMpi::intel(), &preset, &hv);
+        let o = han_apps::run_horovod(&TunedOpenMpi, &preset, &hv);
+        t.row(vec![
+            h.procs.to_string(),
+            format!("{:.1}", h.images_per_sec),
+            format!("{:.1}", i.images_per_sec),
+            format!("{:.1}", o.images_per_sec),
+        ]);
+        out.push((h.procs, h.images_per_sec, i.images_per_sec, o.images_per_sec));
+    }
+    println!("{}", t.render());
+    if let Some((p, h, i, o)) = out.last() {
+        println!(
+            "at {p} procs: HAN is {:+.1}% vs Intel MPI, {:+.1}% vs default Open MPI\n",
+            100.0 * (h / i - 1.0),
+            100.0 * (h / o - 1.0)
+        );
+    }
+    save_json("fig15", &out).ok();
+}
+
+/// Table III: ASP on 1536 processes.
+fn table3(cfg: &Cfg) {
+    println!("## Table III — ASP (Floyd-Warshall), first P iterations\n");
+    let preset = cfg.stampede();
+    let world = preset.topology.world_size();
+    let asp = han_apps::AspConfig {
+        vertices: match cfg.scale {
+            Scale::Paper => 16 * 1024,
+            Scale::Mini => 2048,
+        },
+        flops: 1.2e9,
+        iterations: Some(world),
+    };
+    let han = han_for(&preset, "stampede");
+    let stacks: Vec<(&str, Box<dyn MpiStack>)> = vec![
+        ("HAN", Box::new(han)),
+        ("Intel MPI", Box::new(VendorMpi::intel())),
+        ("MVAPICH2", Box::new(VendorMpi::mvapich2())),
+        ("default Open MPI", Box::new(TunedOpenMpi)),
+    ];
+    let mut t = Table::new(&["stack", "total (s)", "comm (s)", "comm %", "speedup vs self"]);
+    let mut reports = Vec::new();
+    for (name, stack) in &stacks {
+        let rep = han_apps::run_asp(stack.as_ref(), &preset, &asp);
+        reports.push((name.to_string(), rep));
+    }
+    let han_total = reports[0].1.total;
+    for (name, rep) in &reports {
+        t.row(vec![
+            name.clone(),
+            format!("{:.3}", rep.total.as_secs_f64()),
+            format!("{:.3}", rep.comm.as_secs_f64()),
+            format!("{:.2}%", 100.0 * rep.comm_ratio()),
+            format!("{:.2}x", rep.total.as_ps() as f64 / han_total.as_ps() as f64),
+        ]);
+    }
+    println!("{}", t.render());
+    let json: Vec<(String, u64, u64, f64)> = reports
+        .iter()
+        .map(|(n, r)| (n.clone(), r.total.as_ps(), r.comm.as_ps(), r.comm_ratio()))
+        .collect();
+    save_json("table3", &json).ok();
+}
+
+/// Ablation: HAN's cross-level pipelining (fs sweep up to "one segment").
+fn ablation_pipeline(cfg: &Cfg) {
+    println!("## Ablation — pipelining (segment size sweep incl. no pipeline)\n");
+    let preset = cfg.tuning();
+    let m = cfg.validation_msg().max(4 << 20);
+    let mut t = Table::new(&["fs", "bcast", "allreduce"]);
+    let mut fss = sizes(64 * 1024, m);
+    if *fss.last().unwrap() != m {
+        fss.push(m); // the no-pipeline point
+    }
+    for fs in fss {
+        let hc = HanConfig::default()
+            .with_fs(fs)
+            .with_intra(if fs >= 512 * 1024 {
+                IntraModule::Solo
+            } else {
+                IntraModule::Sm
+            });
+        let han = Han::with_config(hc);
+        t.row(vec![
+            size_label(fs),
+            us(time_coll(&han, &preset, Coll::Bcast, m, 0)),
+            us(time_coll(&han, &preset, Coll::Allreduce, m, 0)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(fs = message size disables the pipeline; mid-range fs wins)\n");
+}
+
+/// Ablation: breaking inter-node allreduce into ir+ib with the same
+/// algorithm/root (HAN) vs mismatched algorithms (no aligned overlap).
+fn ablation_irib(cfg: &Cfg) {
+    println!("## Ablation — ir+ib same algorithm/root vs mismatched\n");
+    let preset = cfg.tuning();
+    let m = cfg.validation_msg();
+    let mut t = Table::new(&["config", "allreduce"]);
+    let same = HanConfig {
+        ibalg: InterAlg::Binary,
+        iralg: InterAlg::Binary,
+        ..HanConfig::default().with_fs(256 * 1024)
+    };
+    let mixed = HanConfig {
+        ibalg: InterAlg::Binary,
+        iralg: InterAlg::Binomial,
+        ..HanConfig::default().with_fs(256 * 1024)
+    };
+    for (name, hc) in [("same (binary/binary)", same), ("mixed (binomial ir, binary ib)", mixed)] {
+        let han = Han::with_config(hc);
+        t.row(vec![
+            name.to_string(),
+            us(time_coll(&han, &preset, Coll::Allreduce, m, 0)),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Ablation: task-based model accuracy vs conventional analytic models.
+fn ablation_models(cfg: &Cfg) {
+    println!("## Ablation — prediction error: task-based model vs analytic models\n");
+    let preset = cfg.tuning();
+    let mut tb = TaskBench::new(&preset);
+    let mut machine = Machine::from_preset(&preset);
+    let mut rows: Vec<(String, Vec<(Time, Time)>)> = han_tuner::analytic::AnalyticModel::ALL
+        .iter()
+        .map(|m| (m.name().to_string(), Vec::new()))
+        .collect();
+    rows.push(("task-based (HAN)".into(), Vec::new()));
+    for &m in &sizes(256 * 1024, cfg.validation_msg()) {
+        for fs in [128 * 1024u64, 512 * 1024] {
+            let hc = HanConfig::default().with_fs(fs).with_intra(
+                if fs >= 512 * 1024 { IntraModule::Solo } else { IntraModule::Sm },
+            );
+            let han = Han::with_config(hc);
+            let actual = time_coll_on(&han, &mut machine, &preset, Coll::Bcast, m, 0);
+            for (i, model) in han_tuner::analytic::AnalyticModel::ALL.iter().enumerate() {
+                let p = han_tuner::analytic::predict_bcast(*model, &preset, &hc, m);
+                rows[i].1.push((p, actual));
+            }
+            let p = han_tuner::model::predict(&mut tb, &hc, Coll::Bcast, m);
+            rows.last_mut().unwrap().1.push((p, actual));
+        }
+    }
+    let mut t = Table::new(&["model", "mean |rel err|"]);
+    for (name, pairs) in &rows {
+        t.row(vec![
+            name.clone(),
+            format!("{:.1}%", 100.0 * han_tuner::analytic::mean_relative_error(pairs)),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Paper;
+    let mut what = "all".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--scale" {
+            if let Some(v) = it.next() {
+                scale = if v == "mini" { Scale::Mini } else { Scale::Paper };
+            }
+        } else if !a.starts_with("--") {
+            what = a.clone();
+        }
+    }
+    let cfg = Cfg { scale };
+
+    let start = std::time::Instant::now();
+    match what.as_str() {
+        "fig2" => fig2(&cfg),
+        "fig3" => fig3(&cfg),
+        "fig4" => fig4(&cfg),
+        "fig6" => fig6(&cfg),
+        "fig7" => fig7(&cfg),
+        "fig8" => {
+            fig8(&cfg);
+        }
+        "fig9" => fig9(&cfg),
+        "fig10" => fig10(&cfg),
+        "fig11" => fig11(&cfg),
+        "fig12" => fig12(&cfg),
+        "fig13" => fig13(&cfg),
+        "fig14" => fig14(&cfg),
+        "fig15" => fig15(&cfg),
+        "table3" => table3(&cfg),
+        "ablation-pipeline" => ablation_pipeline(&cfg),
+        "ablation-irib" => ablation_irib(&cfg),
+        "ablation-models" => ablation_models(&cfg),
+        "all" => {
+            fig2(&cfg);
+            fig3(&cfg);
+            fig4(&cfg);
+            fig6(&cfg);
+            fig7(&cfg);
+            fig9(&cfg); // includes fig8
+            fig10(&cfg);
+            fig11(&cfg);
+            fig12(&cfg);
+            fig13(&cfg);
+            fig14(&cfg);
+            fig15(&cfg);
+            table3(&cfg);
+            ablation_pipeline(&cfg);
+            ablation_irib(&cfg);
+            ablation_models(&cfg);
+        }
+        other => {
+            eprintln!(
+                "unknown target '{other}'; expected fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table3|ablation-*|all"
+            );
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[repro] {what} done in {:.1}s wall", start.elapsed().as_secs_f64());
+}

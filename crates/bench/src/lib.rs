@@ -1,0 +1,42 @@
+//! # han-bench — measurement harnesses and paper-figure regeneration
+//!
+//! * [`imb`] — an Intel-MPI-Benchmarks-style sweep: collective latency
+//!   (max across ranks) over a message-size range, for any set of
+//!   [`han_colls::MpiStack`]s. Drives Figs. 10, 12, 13, 14.
+//! * [`netpipe`] — a Netpipe-style point-to-point bandwidth sweep
+//!   (Fig. 11).
+//! * [`report`] — plain-text table rendering and JSON result persistence
+//!   shared by the `repro` binary.
+//!
+//! The `repro` binary (`cargo run -p han-bench --release --bin repro -- <fig>`)
+//! regenerates every table and figure of the paper's evaluation; see
+//! `EXPERIMENTS.md` for the recorded outputs.
+
+pub mod imb;
+pub mod netpipe;
+pub mod report;
+
+pub use imb::{imb_sweep, ImbRow};
+pub use netpipe::{netpipe_sweep, NetpipeRow};
+pub use report::Table;
+
+/// Power-of-two message sizes from `lo` to `hi` inclusive (the IMB
+/// convention the paper's x-axes use).
+pub fn sizes(lo: u64, hi: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut x = lo;
+    while x <= hi {
+        v.push(x);
+        x *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sizes_are_powers_of_two() {
+        assert_eq!(crate::sizes(4, 32), vec![4, 8, 16, 32]);
+        assert!(crate::sizes(8, 4).is_empty());
+    }
+}

@@ -1,0 +1,305 @@
+//! The full-MPI-stack abstraction and benchmark runner.
+//!
+//! Everything the paper compares — HAN, default Open MPI (`tuned`), Cray
+//! MPI, Intel MPI, MVAPICH2 — is an [`MpiStack`]: a named object that can
+//! compile each collective into an op-DAG program and declares which P2P
+//! protocol parameters it runs over. The IMB-style harness in `han-bench`
+//! and the applications in `han-apps` are generic over this trait, so every
+//! figure's "lines" are just different `MpiStack` values.
+
+use crate::frontier::Frontier;
+use han_machine::{Flavor, Machine, MachinePreset, NodeParams, Topology};
+use han_mpi::{execute, BufRange, Comm, DataType, ExecOpts, ProgramBuilder, ReduceOp};
+use han_sim::Time;
+use std::collections::HashMap;
+
+/// Build-time context handed to stack implementations.
+pub struct BuildCtx<'a> {
+    pub b: &'a mut ProgramBuilder,
+    pub topo: Topology,
+    pub node: NodeParams,
+}
+
+/// Collective operation selector (the `t` input of autotuning, Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Coll {
+    Bcast,
+    Allreduce,
+    Reduce,
+    Gather,
+    Scatter,
+    Allgather,
+    Barrier,
+}
+
+impl Coll {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Coll::Bcast => "bcast",
+            Coll::Allreduce => "allreduce",
+            Coll::Reduce => "reduce",
+            Coll::Gather => "gather",
+            Coll::Scatter => "scatter",
+            Coll::Allgather => "allgather",
+            Coll::Barrier => "barrier",
+        }
+    }
+}
+
+/// A complete MPI implementation under test.
+pub trait MpiStack {
+    /// Display name for report rows ("HAN", "Cray MPI", ...).
+    fn name(&self) -> String;
+
+    /// The P2P protocol parameter set this stack runs over.
+    fn flavor(&self) -> Flavor;
+
+    /// `MPI_Bcast` from comm-local `root`; `bufs[l]` is rank `l`'s buffer.
+    fn bcast(
+        &self,
+        cx: &mut BuildCtx,
+        comm: &Comm,
+        root: usize,
+        bufs: &[BufRange],
+        deps: &Frontier,
+    ) -> Frontier;
+
+    /// `MPI_Allreduce` in place over `bufs`.
+    fn allreduce(
+        &self,
+        cx: &mut BuildCtx,
+        comm: &Comm,
+        bufs: &[BufRange],
+        op: ReduceOp,
+        dtype: DataType,
+        deps: &Frontier,
+    ) -> Frontier;
+
+    /// `MPI_Reduce` to comm-local `root`, in place at the root.
+    fn reduce(
+        &self,
+        _cx: &mut BuildCtx,
+        _comm: &Comm,
+        _root: usize,
+        _bufs: &[BufRange],
+        _op: ReduceOp,
+        _dtype: DataType,
+        _deps: &Frontier,
+    ) -> Frontier {
+        unimplemented!("{}: reduce not implemented", self.name())
+    }
+
+    /// `MPI_Gather` of equal `block`-sized contributions to `root`.
+    /// `src[l]` is each rank's block; `dst_root` is the root's n·block
+    /// array.
+    #[allow(clippy::too_many_arguments)]
+    fn gather(
+        &self,
+        _cx: &mut BuildCtx,
+        _comm: &Comm,
+        _root: usize,
+        _src: &[BufRange],
+        _dst_root: BufRange,
+        _deps: &Frontier,
+    ) -> Frontier {
+        unimplemented!("{}: gather not implemented", self.name())
+    }
+
+    /// `MPI_Scatter` from `root` (inverse of gather).
+    #[allow(clippy::too_many_arguments)]
+    fn scatter(
+        &self,
+        _cx: &mut BuildCtx,
+        _comm: &Comm,
+        _root: usize,
+        _src_root: BufRange,
+        _dst: &[BufRange],
+        _deps: &Frontier,
+    ) -> Frontier {
+        unimplemented!("{}: scatter not implemented", self.name())
+    }
+
+    /// `MPI_Barrier`: no rank may exit before every rank has entered.
+    fn barrier(&self, _cx: &mut BuildCtx, _comm: &Comm, _deps: &Frontier) -> Frontier {
+        unimplemented!("{}: barrier not implemented", self.name())
+    }
+
+    /// `MPI_Allgather`: `bufs[l]` is an n·block array with rank `l`'s
+    /// contribution pre-placed at offset `l*block`.
+    fn allgather(
+        &self,
+        _cx: &mut BuildCtx,
+        _comm: &Comm,
+        _bufs: &[BufRange],
+        _block: u64,
+        _deps: &Frontier,
+    ) -> Frontier {
+        unimplemented!("{}: allgather not implemented", self.name())
+    }
+}
+
+/// For each sub-comm local rank, its local index within `parent`.
+pub fn sublocals(parent: &Comm, sub: &Comm) -> Vec<usize> {
+    let map: HashMap<usize, usize> = parent
+        .ranks()
+        .iter()
+        .enumerate()
+        .map(|(l, &w)| (w, l))
+        .collect();
+    sub.ranks()
+        .iter()
+        .map(|w| *map.get(w).expect("sub comm must be a subset of parent"))
+        .collect()
+}
+
+/// `split_node`, but the leader of the root's node is the root itself —
+/// the convention HAN and the hierarchical vendor stacks use so rooted
+/// collectives need no extra intra-node hop at the root.
+pub fn split_with_root(
+    comm: &Comm,
+    topo: &Topology,
+    root_world: usize,
+) -> (Vec<Comm>, Comm) {
+    let (mut low, up) = comm.split_node(topo);
+    let root_node = topo.node_of(root_world);
+    let mut leaders: Vec<usize> = up.ranks().to_vec();
+    for (i, c) in low.iter_mut().enumerate() {
+        if topo.node_of(c.world_rank(0)) == root_node {
+            // Reorder the low comm so the root is its rank 0 (leader).
+            let mut ranks: Vec<usize> = c.ranks().to_vec();
+            if let Some(pos) = ranks.iter().position(|&r| r == root_world) {
+                ranks.swap(0, pos);
+                leaders[i] = root_world;
+                *c = Comm::from_ranks(ranks);
+            }
+        }
+    }
+    (low, Comm::from_ranks(leaders))
+}
+
+/// Build one collective as a standalone program over the whole machine.
+pub fn build_coll(
+    stack: &dyn MpiStack,
+    preset: &MachinePreset,
+    coll: Coll,
+    bytes: u64,
+    root: usize,
+) -> han_mpi::Program {
+    let n = preset.topology.world_size();
+    let comm = Comm::world(n);
+    let mut b = ProgramBuilder::new(n);
+    let deps = Frontier::empty(n);
+    let mut cx = BuildCtx {
+        b: &mut b,
+        topo: preset.topology,
+        node: preset.node,
+    };
+    match coll {
+        Coll::Bcast => {
+            let bufs = cx.b.alloc_all(bytes);
+            stack.bcast(&mut cx, &comm, root, &bufs, &deps);
+        }
+        Coll::Allreduce => {
+            let bufs = cx.b.alloc_all(bytes);
+            stack.allreduce(&mut cx, &comm, &bufs, ReduceOp::Sum, DataType::Float32, &deps);
+        }
+        Coll::Reduce => {
+            let bufs = cx.b.alloc_all(bytes);
+            stack.reduce(
+                &mut cx,
+                &comm,
+                root,
+                &bufs,
+                ReduceOp::Sum,
+                DataType::Float32,
+                &deps,
+            );
+        }
+        Coll::Gather => {
+            let src: Vec<BufRange> = (0..n).map(|r| cx.b.alloc(r, bytes)).collect();
+            let dst = cx.b.alloc(root, bytes * n as u64);
+            stack.gather(&mut cx, &comm, root, &src, dst, &deps);
+        }
+        Coll::Scatter => {
+            let src = cx.b.alloc(root, bytes * n as u64);
+            let dst: Vec<BufRange> = (0..n).map(|r| cx.b.alloc(r, bytes)).collect();
+            stack.scatter(&mut cx, &comm, root, src, &dst, &deps);
+        }
+        Coll::Allgather => {
+            let bufs = cx.b.alloc_all(bytes * n as u64);
+            stack.allgather(&mut cx, &comm, &bufs, bytes, &deps);
+        }
+        Coll::Barrier => {
+            stack.barrier(&mut cx, &comm, &deps);
+        }
+    }
+    b.build()
+}
+
+/// Time one collective on a fresh machine: the IMB cost (max over ranks).
+pub fn time_coll(
+    stack: &dyn MpiStack,
+    preset: &MachinePreset,
+    coll: Coll,
+    bytes: u64,
+    root: usize,
+) -> Time {
+    let mut machine = Machine::from_preset(preset);
+    time_coll_on(stack, &mut machine, preset, coll, bytes, root)
+}
+
+/// Time one collective reusing an existing machine (cheaper in sweeps).
+pub fn time_coll_on(
+    stack: &dyn MpiStack,
+    machine: &mut Machine,
+    preset: &MachinePreset,
+    coll: Coll,
+    bytes: u64,
+    root: usize,
+) -> Time {
+    let prog = build_coll(stack, preset, coll, bytes, root);
+    let opts = ExecOpts::timing(stack.flavor().p2p());
+    execute(machine, &prog, &opts).makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use han_machine::mini;
+
+    #[test]
+    fn sublocals_maps_subset() {
+        let parent = Comm::from_ranks(vec![3, 5, 7, 9]);
+        let sub = Comm::from_ranks(vec![7, 3]);
+        assert_eq!(sublocals(&parent, &sub), vec![2, 0]);
+    }
+
+    #[test]
+    fn split_with_root_promotes_root_to_leader() {
+        let preset = mini(3, 4);
+        let comm = Comm::world(12);
+        // Root 6 lives on node 1 (ranks 4-7).
+        let (low, up) = split_with_root(&comm, &preset.topology, 6);
+        assert_eq!(up.ranks(), &[0, 6, 8]);
+        let node1 = &low[1];
+        assert_eq!(node1.world_rank(0), 6, "root must lead its node");
+        let mut sorted = node1.ranks().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn split_with_root_noop_when_root_is_lowest() {
+        let preset = mini(2, 3);
+        let comm = Comm::world(6);
+        let (low, up) = split_with_root(&comm, &preset.topology, 0);
+        assert_eq!(up.ranks(), &[0, 3]);
+        assert_eq!(low[0].ranks(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn coll_names() {
+        assert_eq!(Coll::Bcast.name(), "bcast");
+        assert_eq!(Coll::Allgather.name(), "allgather");
+    }
+}

@@ -1,0 +1,373 @@
+//! Hierarchical task-pipelined `MPI_Allreduce` (paper Fig. 5).
+//!
+//! Four phases per segment — `sr` (intra-node reduce), `ir` (inter-node
+//! reduce), `ib` (inter-node broadcast), `sb` (intra-node broadcast) —
+//! with the inter-node allreduce deliberately broken into explicit `ir` +
+//! `ib` "to further increase the pipeline" (section III-B), using the same
+//! algorithm and root so the two overlap on opposite directions of the
+//! full-duplex network (Fig. 6).
+//!
+//! The leader task sequence is `sr(0), irsr(1), ibirsr(2),
+//! sbibirsr(3..u-1), sbibir, sbib, sb` — a 4-stage software pipeline.
+//! Non-leaders run the `sbsr` chain. As in [`crate::bcast`], per-task
+//! leader joins are emitted for the autotuner.
+
+use crate::bcast::{inter_bcast, intra_bcast};
+use crate::config::HanConfig;
+use han_colls::stack::{sublocals, BuildCtx};
+use han_colls::{Frontier, InterModule, IntraModule, Libnbc, Sm, Solo};
+use han_mpi::{BufRange, Comm, DataType, OpId, ProgramBuilder, ReduceOp};
+
+/// Result of building a hierarchical allreduce.
+#[derive(Debug)]
+pub struct AllreduceBuild {
+    pub frontier: Frontier,
+    /// `boundaries[t][ul]`: leader `ul`'s join after pipeline step `t`
+    /// (`u + 3` steps: phase `sr` enters at `t`, `sb` drains at `t+3`).
+    pub boundaries: Vec<Vec<OpId>>,
+    pub segments: usize,
+}
+
+/// Dispatch an inter-node reduce (to up-local `root`) through the
+/// configured submodule.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn inter_reduce(
+    b: &mut ProgramBuilder,
+    cfg: &HanConfig,
+    up: &Comm,
+    root: usize,
+    bufs: &[BufRange],
+    deps: &Frontier,
+    op: ReduceOp,
+    dtype: DataType,
+) -> Frontier {
+    match cfg.imod {
+        InterModule::Libnbc => Libnbc.ireduce(b, up, root, bufs, deps, op, dtype),
+        InterModule::Adapt => cfg.adapt().ireduce(b, up, root, bufs, deps, op, dtype),
+    }
+}
+
+/// Dispatch an intra-node reduce (to local 0) through the configured
+/// submodule.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn intra_reduce(
+    b: &mut ProgramBuilder,
+    cfg: &HanConfig,
+    node: &han_machine::NodeParams,
+    low: &Comm,
+    bufs: &[BufRange],
+    deps: &Frontier,
+    op: ReduceOp,
+    dtype: DataType,
+) -> Frontier {
+    match cfg.smod {
+        IntraModule::Sm => Sm.reduce(b, low, node, 0, bufs, deps, op, dtype),
+        IntraModule::Solo => Solo.reduce(b, low, node, 0, bufs, deps, op, dtype),
+    }
+}
+
+/// Build the HAN allreduce (in place over `bufs`, commutative `op`).
+pub fn build_allreduce(
+    cx: &mut BuildCtx,
+    cfg: &HanConfig,
+    comm: &Comm,
+    bufs: &[BufRange],
+    op: ReduceOp,
+    dtype: DataType,
+    deps: &Frontier,
+) -> AllreduceBuild {
+    let n = comm.size();
+    assert_eq!(bufs.len(), n);
+    if n == 1 {
+        return AllreduceBuild {
+            frontier: deps.clone(),
+            boundaries: Vec::new(),
+            segments: 1,
+        };
+    }
+    let (low, up) = comm.split_node(&cx.topo);
+    let up_locals = sublocals(comm, &up);
+    let low_locals: Vec<Vec<usize>> = low.iter().map(|lc| sublocals(comm, lc)).collect();
+    let up_root = 0; // same root for ir and ib (paper section III-B)
+
+    // Segment at datatype granularity: a reduction segment must hold a
+    // whole number of elements.
+    let el = dtype.size() as u64;
+    let fs = (cfg.fs / el).max(1) * el;
+    let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(fs)).collect();
+    let u = segs[0].len();
+    let node = cx.node;
+    let nl = up.size();
+
+    let mut boundary: Vec<Vec<OpId>> = up_locals.iter().map(|&l| deps.get(l).to_vec()).collect();
+    let mut child_chain: Vec<Vec<OpId>> = (0..n).map(|l| deps.get(l).to_vec()).collect();
+
+    // Per-segment phase completions needed by the next phase.
+    let mut sr_leader: Vec<Vec<Vec<OpId>>> = vec![vec![Vec::new(); nl]; u]; // [seg][ul]
+    let mut ir_f: Vec<Option<Frontier>> = vec![None; u]; // over up
+    let mut ib_f: Vec<Option<Frontier>> = vec![None; u]; // over up
+    let mut boundaries = Vec::with_capacity(u + 3);
+
+    for t in 0..u + 3 {
+        // Ops issued in this task, per leader and per non-leader rank.
+        let mut issued_leader: Vec<Vec<OpId>> = vec![Vec::new(); nl];
+        let mut issued_child: Vec<Vec<OpId>> = vec![Vec::new(); n];
+
+        // sr(t): intra-node reduce of segment t.
+        if t < u {
+            for (ni, lc) in low.iter().enumerate() {
+                let locals = &low_locals[ni];
+                let sub_bufs: Vec<BufRange> = locals.iter().map(|&l| segs[l][t]).collect();
+                let mut sub_deps = Frontier::empty(lc.size());
+                sub_deps.set(0, boundary[ni].clone());
+                for (j, &l) in locals.iter().enumerate().skip(1) {
+                    sub_deps.set(j, child_chain[l].clone());
+                }
+                let f = intra_reduce(cx.b, cfg, &node, lc, &sub_bufs, &sub_deps, op, dtype);
+                sr_leader[t][ni] = f.get(0).to_vec();
+                issued_leader[ni].extend_from_slice(f.get(0));
+                for (j, &l) in locals.iter().enumerate().skip(1) {
+                    issued_child[l].extend_from_slice(f.get(j));
+                }
+            }
+        }
+
+        // ir(t-1): inter-node reduce of segment t-1 to the up-root.
+        if t >= 1 && t - 1 < u {
+            let i = t - 1;
+            let up_bufs: Vec<BufRange> = up_locals.iter().map(|&l| segs[l][i]).collect();
+            let mut up_deps = Frontier::empty(nl);
+            for ul in 0..nl {
+                let mut d = boundary[ul].clone();
+                d.extend_from_slice(&sr_leader[i][ul]);
+                up_deps.set(ul, d);
+            }
+            let f = inter_reduce(cx.b, cfg, &up, up_root, &up_bufs, &up_deps, op, dtype);
+            for ul in 0..nl {
+                issued_leader[ul].extend_from_slice(f.get(ul));
+            }
+            ir_f[i] = Some(f);
+        }
+
+        // ib(t-2): inter-node broadcast of the reduced segment t-2.
+        if t >= 2 && t - 2 < u {
+            let i = t - 2;
+            let up_bufs: Vec<BufRange> = up_locals.iter().map(|&l| segs[l][i]).collect();
+            let prev = ir_f[i].take().expect("ir before ib");
+            let mut up_deps = Frontier::empty(nl);
+            for ul in 0..nl {
+                let mut d = boundary[ul].clone();
+                d.extend_from_slice(prev.get(ul));
+                up_deps.set(ul, d);
+            }
+            let f = inter_bcast(cx.b, cfg, &up, up_root, &up_bufs, &up_deps);
+            for ul in 0..nl {
+                issued_leader[ul].extend_from_slice(f.get(ul));
+            }
+            ib_f[i] = Some(f);
+        }
+
+        // sb(t-3): intra-node broadcast of the final segment t-3.
+        if t >= 3 && t - 3 < u {
+            let i = t - 3;
+            let prev = ib_f[i].take().expect("ib before sb");
+            for (ni, lc) in low.iter().enumerate() {
+                let locals = &low_locals[ni];
+                let sub_bufs: Vec<BufRange> = locals.iter().map(|&l| segs[l][i]).collect();
+                let mut sub_deps = Frontier::empty(lc.size());
+                let mut d = boundary[ni].clone();
+                d.extend_from_slice(prev.get(ni));
+                sub_deps.set(0, d);
+                for (j, &l) in locals.iter().enumerate().skip(1) {
+                    sub_deps.set(j, child_chain[l].clone());
+                }
+                let f = intra_bcast(cx.b, cfg, &node, lc, &sub_bufs, &sub_deps);
+                for (j, &l) in locals.iter().enumerate() {
+                    if j == 0 {
+                        issued_leader[ni].extend_from_slice(f.get(0));
+                    } else {
+                        issued_child[l].extend_from_slice(f.get(j));
+                        // Leader's task joins the whole node's sb (bounce
+                        // pool flow control), as in bcast.
+                        issued_leader[ni].extend_from_slice(f.get(j));
+                    }
+                }
+            }
+        }
+
+        // Task boundary joins.
+        let mut joins = Vec::with_capacity(nl);
+        for ul in 0..nl {
+            if issued_leader[ul].is_empty() {
+                // Degenerate (u < 3 drains some steps early): carry over.
+                joins.push(cx.b.nop(up.world_rank(ul), &boundary[ul]));
+            } else {
+                joins.push(cx.b.nop(up.world_rank(ul), &issued_leader[ul]));
+            }
+            boundary[ul] = vec![joins[ul]];
+        }
+        boundaries.push(joins);
+        for l in 0..n {
+            if !issued_child[l].is_empty() {
+                child_chain[l] = std::mem::take(&mut issued_child[l]);
+            }
+        }
+    }
+
+    let mut frontier = Frontier::empty(n);
+    for (ul, &l) in up_locals.iter().enumerate() {
+        frontier.set(l, boundary[ul].clone());
+    }
+    for l in 0..n {
+        if frontier.get(l).is_empty() {
+            frontier.set(l, child_chain[l].clone());
+        }
+    }
+    AllreduceBuild {
+        frontier,
+        boundaries,
+        segments: u,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use han_machine::{mini, Flavor, Machine};
+    use han_mpi::{execute, execute_seeded, ExecOpts};
+
+    fn build(
+        preset: &han_machine::MachinePreset,
+        cfg: &HanConfig,
+        bytes: u64,
+    ) -> (han_mpi::Program, Vec<BufRange>, AllreduceBuild) {
+        let n = preset.topology.world_size();
+        let comm = Comm::world(n);
+        let mut b = ProgramBuilder::new(n);
+        let bufs = b.alloc_all(bytes);
+        let mut cx = BuildCtx {
+            b: &mut b,
+            topo: preset.topology,
+            node: preset.node,
+        };
+        let built = build_allreduce(
+            &mut cx,
+            cfg,
+            &comm,
+            &bufs,
+            ReduceOp::Sum,
+            DataType::Int32,
+            &Frontier::empty(n),
+        );
+        (b.build(), bufs, built)
+    }
+
+    fn check_sum(cfg: &HanConfig, nodes: usize, ppn: usize, bytes: u64) {
+        let preset = mini(nodes, ppn);
+        let n = nodes * ppn;
+        let (prog, bufs, built) = build(&preset, cfg, bytes);
+        assert_eq!(built.segments, cfg.segments(bytes) as usize);
+        let mut m = Machine::from_preset(&preset);
+        let o = ExecOpts::with_data(Flavor::OpenMpi.p2p());
+        let nelem = (bytes / 4) as usize;
+        let bufs2 = bufs.clone();
+        let (_, mem) = execute_seeded(&mut m, &prog, &o, |mm| {
+            for r in 0..n {
+                let vals: Vec<u8> = (0..nelem)
+                    .flat_map(|i| ((r * 7 + i) as i32).to_le_bytes())
+                    .collect();
+                mm.write(r, bufs2[r], &vals);
+            }
+        });
+        let expect: Vec<u8> = (0..nelem)
+            .flat_map(|i| {
+                let s: i32 = (0..n).map(|r| (r * 7 + i) as i32).sum();
+                s.to_le_bytes()
+            })
+            .collect();
+        for r in 0..n {
+            assert_eq!(
+                mem.read(r, bufs[r]),
+                expect.as_slice(),
+                "cfg {cfg} rank {r} ({nodes}x{ppn}, {bytes}B)"
+            );
+        }
+    }
+
+    #[test]
+    fn sums_across_configs() {
+        use han_colls::{InterAlg, InterModule, IntraModule};
+        for imod in InterModule::ALL {
+            for smod in IntraModule::ALL {
+                let cfg = HanConfig {
+                    fs: 64,
+                    imod,
+                    smod,
+                    ..HanConfig::default()
+                };
+                check_sum(&cfg, 3, 3, 256); // 4 segments: full pipeline
+            }
+        }
+        for alg in InterAlg::ALL {
+            let cfg = HanConfig {
+                fs: 48,
+                ibalg: alg,
+                iralg: alg,
+                irs: Some(16),
+                ibs: Some(16),
+                ..HanConfig::default()
+            };
+            check_sum(&cfg, 4, 2, 400);
+        }
+    }
+
+    #[test]
+    fn short_pipelines_drain_correctly() {
+        // u = 1 and u = 2 exercise the drain-only steps.
+        let cfg = HanConfig::default().with_fs(1 << 20);
+        check_sum(&cfg, 2, 2, 64); // u = 1
+        let cfg = HanConfig::default().with_fs(64);
+        check_sum(&cfg, 2, 2, 128); // u = 2
+    }
+
+    #[test]
+    fn boundary_count_is_u_plus_3() {
+        let preset = mini(3, 2);
+        let cfg = HanConfig::default().with_fs(100);
+        let (_, _, built) = build(&preset, &cfg, 600); // u = 6
+        assert_eq!(built.segments, 6);
+        assert_eq!(built.boundaries.len(), 9);
+    }
+
+    #[test]
+    fn ir_ib_overlap_helps() {
+        // Breaking inter-node allreduce into ir+ib and pipelining must beat
+        // the unsegmented variant for large messages (paper section III-B).
+        let preset = mini(4, 4);
+        let bytes = 8 << 20;
+        let time_of = |fs: u64| {
+            let cfg = HanConfig {
+                fs,
+                smod: han_colls::IntraModule::Solo,
+                ..HanConfig::default()
+            };
+            let (prog, _, _) = build(&preset, &cfg, bytes);
+            let mut m = Machine::from_preset(&preset);
+            execute(&mut m, &prog, &ExecOpts::timing(Flavor::OpenMpi.p2p())).makespan
+        };
+        let pipelined = time_of(512 * 1024);
+        let monolithic = time_of(bytes);
+        assert!(
+            pipelined.as_ps() * 3 < monolithic.as_ps() * 2,
+            "pipelined {pipelined} should be well under monolithic {monolithic}"
+        );
+    }
+
+    #[test]
+    fn single_rank_trivial() {
+        let preset = mini(1, 1);
+        let (prog, _, built) = build(&preset, &HanConfig::default(), 64);
+        assert!(built.boundaries.is_empty());
+        assert_eq!(prog.len(), 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Hierarchical task-pipelined `MPI_Bcast` (paper Fig. 1).
+//!
+//! Node leaders execute `ib(0), sbib(1), …, sbib(u-1), sb(u-1)`; every
+//! other rank executes `sb(0) … sb(u-1)`. A task completes on a leader
+//! when *all* of its component operations complete — `sbib(i)` joins the
+//! intra-node broadcast of segment `i-1` (including the consumers' copies,
+//! the shared bounce pool's flow control) with the inter-node broadcast of
+//! segment `i` — and the next task starts from that join. The join ops are
+//! returned as `boundaries` so the autotuner can time individual tasks
+//! (Figs. 2 and 3).
+
+use crate::config::HanConfig;
+use han_colls::stack::{split_with_root, sublocals, BuildCtx};
+use han_colls::{Frontier, InterModule, IntraModule, Libnbc, Sm, Solo};
+use han_mpi::{BufRange, Comm, OpId, ProgramBuilder};
+
+/// Result of building a hierarchical broadcast.
+#[derive(Debug)]
+pub struct BcastBuild {
+    /// Completion frontier over the original communicator.
+    pub frontier: Frontier,
+    /// `boundaries[t][ul]` = leader `ul`'s join op after task `t`.
+    /// Tasks are `ib(0), sbib(1), …, sbib(u-1), sb(u-1)` — `u+1` entries.
+    pub boundaries: Vec<Vec<OpId>>,
+    /// Number of HAN segments `u`.
+    pub segments: usize,
+}
+
+/// Dispatch an inter-node broadcast through the configured submodule.
+pub(crate) fn inter_bcast(
+    b: &mut ProgramBuilder,
+    cfg: &HanConfig,
+    up: &Comm,
+    root: usize,
+    bufs: &[BufRange],
+    deps: &Frontier,
+) -> Frontier {
+    match cfg.imod {
+        InterModule::Libnbc => Libnbc.ibcast(b, up, root, bufs, deps),
+        InterModule::Adapt => cfg.adapt().ibcast(b, up, root, bufs, deps),
+    }
+}
+
+/// Dispatch an intra-node broadcast (root = local 0) through the
+/// configured submodule.
+pub(crate) fn intra_bcast(
+    b: &mut ProgramBuilder,
+    cfg: &HanConfig,
+    node: &han_machine::NodeParams,
+    low: &Comm,
+    bufs: &[BufRange],
+    deps: &Frontier,
+) -> Frontier {
+    match cfg.smod {
+        IntraModule::Sm => Sm.bcast(b, low, node, 0, bufs, deps),
+        IntraModule::Solo => Solo.bcast(b, low, node, 0, bufs, deps),
+    }
+}
+
+/// Build the HAN broadcast from comm-local `root` over `comm`.
+pub fn build_bcast(
+    cx: &mut BuildCtx,
+    cfg: &HanConfig,
+    comm: &Comm,
+    root: usize,
+    bufs: &[BufRange],
+    deps: &Frontier,
+) -> BcastBuild {
+    let n = comm.size();
+    assert_eq!(bufs.len(), n);
+    if n == 1 {
+        return BcastBuild {
+            frontier: deps.clone(),
+            boundaries: Vec::new(),
+            segments: 1,
+        };
+    }
+    let root_world = comm.world_rank(root);
+    let (low, up) = split_with_root(comm, &cx.topo, root_world);
+    let up_locals = sublocals(comm, &up);
+    let low_locals: Vec<Vec<usize>> = low.iter().map(|lc| sublocals(comm, lc)).collect();
+    let up_root = up.local_rank(root_world).expect("root leads its node");
+
+    let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(cfg.fs)).collect();
+    let u = segs[0].len();
+    let node = cx.node;
+
+    // Per-leader current boundary (dependency list for the next task) and
+    // per-rank intra-broadcast chains.
+    let mut boundary: Vec<Vec<OpId>> = up_locals.iter().map(|&l| deps.get(l).to_vec()).collect();
+    let mut sb_chain: Vec<Vec<OpId>> = (0..n).map(|l| deps.get(l).to_vec()).collect();
+    // All node ops of the previous segment's sb, per leader (flow control:
+    // the leader's task joins the whole node's intra broadcast).
+    let mut sb_node_prev: Vec<Vec<OpId>> = vec![Vec::new(); up.size()];
+    let mut boundaries = Vec::with_capacity(u + 1);
+
+    for i in 0..u {
+        // ib(i) over the leaders, from each leader's current boundary.
+        let mut up_deps = Frontier::empty(up.size());
+        for (ul, dep) in boundary.iter().enumerate() {
+            up_deps.set(ul, dep.clone());
+        }
+        let up_bufs: Vec<BufRange> = up_locals.iter().map(|&l| segs[l][i]).collect();
+        let f_ib = inter_bcast(cx.b, cfg, &up, up_root, &up_bufs, &up_deps);
+
+        // Task boundary: join ib(i) with sb(i-1) on each leader.
+        let mut joins = Vec::with_capacity(up.size());
+        for ul in 0..up.size() {
+            let mut ops: Vec<OpId> = f_ib.get(ul).to_vec();
+            ops.extend_from_slice(&sb_node_prev[ul]);
+            let j = cx.b.nop(up.world_rank(ul), &ops);
+            boundary[ul] = vec![j];
+            joins.push(j);
+        }
+        boundaries.push(joins);
+
+        // sb(i) on each node: leader starts from the fresh boundary,
+        // non-leaders from their own chains.
+        for (ni, lc) in low.iter().enumerate() {
+            let locals = &low_locals[ni];
+            let sub_bufs: Vec<BufRange> = locals.iter().map(|&l| segs[l][i]).collect();
+            let mut sub_deps = Frontier::empty(lc.size());
+            sub_deps.set(0, boundary[ni].clone());
+            for (j, &l) in locals.iter().enumerate().skip(1) {
+                sub_deps.set(j, sb_chain[l].clone());
+            }
+            let f_sb = intra_bcast(cx.b, cfg, &node, lc, &sub_bufs, &sub_deps);
+            let mut node_ops = Vec::new();
+            for (j, &l) in locals.iter().enumerate() {
+                sb_chain[l] = f_sb.get(j).to_vec();
+                node_ops.extend_from_slice(f_sb.get(j));
+            }
+            sb_node_prev[ni] = node_ops;
+        }
+    }
+
+    // Final task sb(u-1): leaders join the last intra broadcast.
+    let mut joins = Vec::with_capacity(up.size());
+    for ul in 0..up.size() {
+        let mut ops = boundary[ul].clone();
+        ops.extend_from_slice(&sb_node_prev[ul]);
+        let j = cx.b.nop(up.world_rank(ul), &ops);
+        boundary[ul] = vec![j];
+        joins.push(j);
+    }
+    boundaries.push(joins);
+
+    let mut frontier = Frontier::empty(n);
+    for (ul, &l) in up_locals.iter().enumerate() {
+        frontier.set(l, boundary[ul].clone());
+    }
+    for l in 0..n {
+        if frontier.get(l).is_empty() {
+            frontier.set(l, sb_chain[l].clone());
+        }
+    }
+    BcastBuild {
+        frontier,
+        boundaries,
+        segments: u,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use han_machine::{mini, Flavor, Machine};
+    use han_mpi::{execute, execute_seeded, ExecOpts};
+
+    fn build(
+        preset: &han_machine::MachinePreset,
+        cfg: &HanConfig,
+        bytes: u64,
+        root: usize,
+    ) -> (han_mpi::Program, Vec<BufRange>, BcastBuild) {
+        let n = preset.topology.world_size();
+        let comm = Comm::world(n);
+        let mut b = ProgramBuilder::new(n);
+        let bufs = b.alloc_all(bytes);
+        let mut cx = BuildCtx {
+            b: &mut b,
+            topo: preset.topology,
+            node: preset.node,
+        };
+        let built = build_bcast(&mut cx, cfg, &comm, root, &bufs, &Frontier::empty(n));
+        (b.build(), bufs, built)
+    }
+
+    fn check_delivery(cfg: &HanConfig, nodes: usize, ppn: usize, bytes: u64, root: usize) {
+        let preset = mini(nodes, ppn);
+        let (prog, bufs, built) = build(&preset, cfg, bytes, root);
+        assert_eq!(built.segments, cfg.segments(bytes) as usize);
+        let mut m = Machine::from_preset(&preset);
+        let o = ExecOpts::with_data(Flavor::OpenMpi.p2p());
+        let data: Vec<u8> = (0..bytes).map(|i| (i % 251) as u8).collect();
+        let root_buf = bufs[root];
+        let (_, mem) = execute_seeded(&mut m, &prog, &o, |mm| mm.write(root, root_buf, &data));
+        for r in 0..nodes * ppn {
+            assert_eq!(
+                mem.read(r, bufs[r]),
+                data.as_slice(),
+                "cfg {cfg} rank {r} root {root}"
+            );
+        }
+    }
+
+    #[test]
+    fn delivers_across_configs() {
+        use han_colls::{InterAlg, InterModule, IntraModule};
+        for imod in InterModule::ALL {
+            for smod in IntraModule::ALL {
+                let cfg = HanConfig {
+                    fs: 64,
+                    imod,
+                    smod,
+                    ..HanConfig::default()
+                };
+                check_delivery(&cfg, 3, 3, 200, 0); // multi-segment, uneven tail
+            }
+        }
+        for alg in InterAlg::ALL {
+            let cfg = HanConfig {
+                fs: 128,
+                ibalg: alg,
+                iralg: alg,
+                ibs: Some(32),
+                ..HanConfig::default()
+            };
+            check_delivery(&cfg, 4, 2, 500, 0);
+        }
+    }
+
+    #[test]
+    fn non_leader_root_works() {
+        // Root 5 is not the lowest rank of its node.
+        check_delivery(&HanConfig::default().with_fs(64), 3, 3, 150, 5);
+    }
+
+    #[test]
+    fn boundary_count_matches_task_list() {
+        let preset = mini(3, 2);
+        let cfg = HanConfig::default().with_fs(100);
+        let (_, _, built) = build(&preset, &cfg, 450, 0); // 5 segments
+        assert_eq!(built.segments, 5);
+        // ib(0), sbib(1..4), sb(4) = 6 boundaries, one per leader each.
+        assert_eq!(built.boundaries.len(), 6);
+        assert!(built.boundaries.iter().all(|b| b.len() == 3));
+    }
+
+    #[test]
+    fn boundaries_are_monotone_per_leader() {
+        let preset = mini(4, 4);
+        let cfg = HanConfig::default().with_fs(64 * 1024);
+        let (prog, _, built) = build(&preset, &cfg, 512 * 1024, 0);
+        let mut m = Machine::from_preset(&preset);
+        let rep = execute(&mut m, &prog, &ExecOpts::timing(Flavor::OpenMpi.p2p()));
+        for ul in 0..4 {
+            let times: Vec<_> = built
+                .boundaries
+                .iter()
+                .map(|t| rep.finish(t[ul]))
+                .collect();
+            for w in times.windows(2) {
+                assert!(w[0] <= w[1], "leader {ul}: boundaries must be ordered");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelining_beats_sequential_phases() {
+        // The same message broadcast with one giant segment (no pipeline)
+        // must be slower than with segments (overlapped ib/sb), for a
+        // message large enough to amortize per-task overhead.
+        let preset = mini(4, 8);
+        let bytes = 8 << 20;
+        let time_of = |fs: u64| {
+            let cfg = HanConfig::default().with_fs(fs);
+            let (prog, _, _) = build(&preset, &cfg, bytes, 0);
+            let mut m = Machine::from_preset(&preset);
+            execute(&mut m, &prog, &ExecOpts::timing(Flavor::OpenMpi.p2p())).makespan
+        };
+        let pipelined = time_of(512 * 1024);
+        let monolithic = time_of(bytes);
+        assert!(
+            pipelined < monolithic,
+            "pipelined {pipelined} should beat monolithic {monolithic}"
+        );
+    }
+
+    #[test]
+    fn single_rank_comm_is_trivial() {
+        let preset = mini(1, 1);
+        let (prog, _, built) = build(&preset, &HanConfig::default(), 1024, 0);
+        assert!(built.boundaries.is_empty());
+        assert_eq!(prog.len(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! HAN's tuned parameter set — the *output* of autotuning (paper Table II).
+
+use han_colls::{Adapt, InterAlg, InterModule, IntraModule};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One complete HAN configuration (Table II):
+///
+/// | symbol  | meaning                                       |
+/// |---------|-----------------------------------------------|
+/// | `fs`    | segment size in the HAN module                |
+/// | `imod`  | submodule used for inter-node                 |
+/// | `smod`  | submodule used for intra-node                 |
+/// | `ibalg` | inter-node bcast algorithm (ADAPT only)       |
+/// | `iralg` | inter-node reduce algorithm (ADAPT only)      |
+/// | `ibs`   | inter-node bcast segment size (ADAPT only)    |
+/// | `irs`   | inter-node reduce segment size (ADAPT only)   |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HanConfig {
+    pub fs: u64,
+    pub imod: InterModule,
+    pub smod: IntraModule,
+    pub ibalg: InterAlg,
+    pub iralg: InterAlg,
+    pub ibs: Option<u64>,
+    pub irs: Option<u64>,
+}
+
+impl Default for HanConfig {
+    /// A reasonable untuned starting point: 128 KB segments, ADAPT
+    /// binomial inter-node, SM intra-node.
+    fn default() -> Self {
+        HanConfig {
+            fs: 128 * 1024,
+            imod: InterModule::Adapt,
+            smod: IntraModule::Sm,
+            ibalg: InterAlg::Binomial,
+            iralg: InterAlg::Binomial,
+            ibs: None,
+            irs: None,
+        }
+    }
+}
+
+impl HanConfig {
+    /// The ADAPT submodule instance this configuration selects (only
+    /// meaningful when `imod == Adapt`).
+    pub fn adapt(&self) -> Adapt {
+        Adapt {
+            balg: self.ibalg,
+            ralg: self.iralg,
+            ibs: self.ibs,
+            irs: self.irs,
+        }
+    }
+
+    /// Number of HAN segments for a message of `bytes`.
+    pub fn segments(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            1
+        } else {
+            bytes.div_ceil(self.fs.max(1))
+        }
+    }
+
+    pub fn with_fs(mut self, fs: u64) -> Self {
+        self.fs = fs;
+        self
+    }
+
+    pub fn with_inter(mut self, imod: InterModule, alg: InterAlg) -> Self {
+        self.imod = imod;
+        self.ibalg = alg;
+        self.iralg = alg;
+        self
+    }
+
+    pub fn with_intra(mut self, smod: IntraModule) -> Self {
+        self.smod = smod;
+        self
+    }
+}
+
+impl fmt::Display for HanConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fs={} imod={} smod={} ibalg={} iralg={}",
+            human_size(self.fs),
+            self.imod,
+            self.smod,
+            self.ibalg,
+            self.iralg
+        )?;
+        if let Some(ibs) = self.ibs {
+            write!(f, " ibs={}", human_size(ibs))?;
+        }
+        if let Some(irs) = self.irs {
+            write!(f, " irs={}", human_size(irs))?;
+        }
+        Ok(())
+    }
+}
+
+/// Render a byte count compactly (4K, 2M, ...).
+pub fn human_size(bytes: u64) -> String {
+    if bytes >= 1 << 20 && bytes % (1 << 20) == 0 {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 && bytes % (1 << 10) == 0 {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_count() {
+        let c = HanConfig::default().with_fs(64 * 1024);
+        assert_eq!(c.segments(0), 1);
+        assert_eq!(c.segments(64 * 1024), 1);
+        assert_eq!(c.segments(64 * 1024 + 1), 2);
+        assert_eq!(c.segments(4 << 20), 64);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = HanConfig::default()
+            .with_fs(1 << 20)
+            .with_inter(InterModule::Libnbc, InterAlg::Chain)
+            .with_intra(IntraModule::Solo);
+        assert_eq!(c.fs, 1 << 20);
+        assert_eq!(c.imod, InterModule::Libnbc);
+        assert_eq!(c.ibalg, InterAlg::Chain);
+        assert_eq!(c.smod, IntraModule::Solo);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let c = HanConfig::default();
+        let s = c.to_string();
+        assert!(s.contains("fs=128K"), "{s}");
+        assert!(s.contains("imod=adapt"), "{s}");
+    }
+
+    #[test]
+    fn human_sizes() {
+        assert_eq!(human_size(4096), "4K");
+        assert_eq!(human_size(2 << 20), "2M");
+        assert_eq!(human_size(1000), "1000");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = HanConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: HanConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

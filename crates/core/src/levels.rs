@@ -1,0 +1,38 @@
+//! Hierarchy-level extension points (paper future work; documented stubs).
+//!
+//! The paper limits HAN to the two levels exposed by the portable
+//! `MPI_Comm_split_type` API — intra-node and inter-node — and names two
+//! extensions as future work: more hardware levels (NUMA/socket/switch)
+//! and a GPU intra-node submodule. This module records the seam where
+//! those would attach: a level is (a) a way to split a communicator and
+//! (b) a set of submodules whose fine-grained collectives run at that
+//! level. The task composition in [`crate::bcast`]/[`crate::allreduce`]
+//! is already level-agnostic — it chains frontiers through an ordered
+//! list of levels — so adding a level means implementing a split plus
+//! submodule dispatch, not changing the pipeline.
+
+/// The hierarchy levels HAN distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Across nodes, over the interconnect (Libnbc / ADAPT submodules).
+    InterNode,
+    /// Within a node, over shared memory (SM / SOLO submodules).
+    IntraNode,
+}
+
+impl Level {
+    /// The two-level order used throughout the paper: data descends
+    /// inter → intra for one-to-all, ascends intra → inter for reductions.
+    pub const ORDER: [Level; 2] = [Level::InterNode, Level::IntraNode];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_two_level() {
+        assert_eq!(Level::ORDER.len(), 2);
+        assert_eq!(Level::ORDER[0], Level::InterNode);
+    }
+}

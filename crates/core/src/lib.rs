@@ -1,0 +1,54 @@
+//! # han-core — HAN: Hierarchical AutotuNed collective operations
+//!
+//! The paper's primary contribution, reproduced over the simulated
+//! substrate: hierarchical collectives decomposed into *tasks* whose
+//! fine-grained operations come from interchangeable submodules
+//! (Libnbc/ADAPT inter-node, SM/SOLO intra-node), pipelined over message
+//! segments so communication on different hardware levels overlaps.
+//!
+//! ## Task structure (paper section III)
+//!
+//! `MPI_Bcast` (Fig. 1): each segment flows through an inter-node
+//! broadcast (`ib`) to the node leaders, then an intra-node broadcast
+//! (`sb`). Node leaders execute `ib(0), sbib(1), …, sbib(u-1), sb(u-1)`
+//! where task `sbib(i)` runs `sb(i-1)` and `ib(i)` *concurrently* and
+//! joins them before the next task; other ranks execute `sb(0) … sb(u-1)`.
+//!
+//! `MPI_Allreduce` (Fig. 5): four phases per segment — intra-node reduce
+//! (`sr`), inter-node reduce (`ir`), inter-node broadcast (`ib`),
+//! intra-node broadcast (`sb`) — with `ir` and `ib` deliberately using the
+//! same algorithm and root so they overlap on opposite directions of the
+//! full-duplex network. The steady-state leader task is `sbibirsr(i)`:
+//! `sb(i-3) ∥ ib(i-2) ∥ ir(i-1) ∥ sr(i)`.
+//!
+//! Both builders emit explicit per-task join ops ("boundaries") on each
+//! node leader; the autotuner's task benchmarks (`han-tuner`) read their
+//! completion times directly, exactly as the paper benchmarks tasks rather
+//! than whole collectives.
+//!
+//! ## Modules
+//!
+//! * [`config`] — [`config::HanConfig`], the tuned parameter set of
+//!   Table II (`fs`, `imod`, `smod`, `ibalg`, `iralg`, `ibs`, `irs`).
+//! * [`bcast`] / [`allreduce`] — the task-pipelined builders.
+//! * [`extend`] — Reduce / Gather / Scatter / Allgather via the same
+//!   two-level composition (the paper: "similar designs can be extended to
+//!   other collective operations").
+//! * [`task`] — standalone single-task programs for the autotuner's
+//!   benchmarks (Figs. 2, 3, 6).
+//! * [`han`] — the [`han::Han`] facade implementing
+//!   [`han_colls::MpiStack`], with either a fixed configuration or a
+//!   pluggable decision source (the autotuner's lookup table).
+//! * [`levels`] — documented extension points for >2 hierarchy levels and
+//!   GPU submodules (the paper's future work; not implemented).
+
+pub mod allreduce;
+pub mod bcast;
+pub mod config;
+pub mod extend;
+pub mod han;
+pub mod levels;
+pub mod task;
+
+pub use config::HanConfig;
+pub use han::{ConfigSource, Han};

@@ -1,0 +1,156 @@
+//! Hardware parameter sets for nodes and network.
+//!
+//! These are the *physical* knobs; per-MPI-library protocol knobs live in
+//! [`crate::flavor`]. Values are chosen so the simulated machines reproduce
+//! the qualitative curves of the paper's testbeds (see `EXPERIMENTS.md` for
+//! the calibration notes); nothing downstream depends on their absolute
+//! magnitudes.
+
+use han_sim::Time;
+use serde::{Deserialize, Serialize};
+
+/// Per-node hardware parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NodeParams {
+    /// Cores per node (capacity; informational — ppn comes from topology).
+    pub cores: usize,
+    /// Single-core memcpy rate, bytes/s. Shared-memory collectives move
+    /// data at this rate on the copying rank's CPU.
+    pub copy_rate: f64,
+    /// Aggregate per-node memory bandwidth, bytes/s, shared by all ranks on
+    /// the node *and* by NIC DMA. Contention on this resource is one of the
+    /// two causes of imperfect `ib`/`sb` overlap (paper section III-A2).
+    pub bus_bw: f64,
+    /// Scalar (non-vectorized) local reduction rate, bytes/s. Used by the
+    /// SM and Libnbc submodules, which the paper notes do not use AVX.
+    pub reduce_rate: f64,
+    /// Vectorized (AVX) local reduction rate, bytes/s. Used by ADAPT and
+    /// SOLO (paper section IV-A2).
+    pub reduce_rate_avx: f64,
+    /// Latency for an intra-node synchronization flag to become visible to
+    /// another rank (cache-coherence round trip).
+    pub flag_latency: Time,
+    /// Size of one SM bounce-buffer fragment; the SM submodule pays one
+    /// flag round per fragment, which is why it loses to SOLO on large
+    /// segments (paper section III: "SM has better performance for small
+    /// messages while SOLO performs significantly better as the
+    /// communication size increases").
+    pub sm_chunk: u64,
+    /// Fixed setup cost of a SOLO (one-sided) operation: window
+    /// synchronization/exposure epochs.
+    pub solo_setup: Time,
+}
+
+/// Network parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NetParams {
+    /// Per-node injection bandwidth, bytes/s, *per direction* (full duplex).
+    pub nic_bw: f64,
+    /// One-way wire latency between any two nodes.
+    pub latency: Time,
+    /// Fraction of each inter-node byte additionally charged to the
+    /// endpoint memory bus (NIC DMA traffic). 1.0 = every byte crosses the
+    /// bus once per endpoint.
+    pub dma_bus_factor: f64,
+    /// Optional aggregate network-core bandwidth, bytes/s, shared by all
+    /// concurrent inter-node transfers. `None` = non-blocking fabric.
+    pub core_bw: Option<f64>,
+}
+
+impl NodeParams {
+    /// Time for one rank to memcpy `bytes` (CPU side).
+    #[inline]
+    pub fn copy_time(&self, bytes: u64) -> Time {
+        Time::for_bytes(bytes, self.copy_rate)
+    }
+
+    /// Bus occupancy for moving `bytes` across the node memory system.
+    #[inline]
+    pub fn bus_time(&self, bytes: u64) -> Time {
+        Time::for_bytes(bytes, self.bus_bw)
+    }
+
+    /// Local reduction compute time over `bytes`.
+    #[inline]
+    pub fn reduce_time(&self, bytes: u64, vectorized: bool) -> Time {
+        let rate = if vectorized {
+            self.reduce_rate_avx
+        } else {
+            self.reduce_rate
+        };
+        Time::for_bytes(bytes, rate)
+    }
+
+    /// Number of SM bounce fragments needed for `bytes`.
+    #[inline]
+    pub fn sm_fragments(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.sm_chunk).max(1)
+    }
+}
+
+impl NetParams {
+    /// NIC occupancy (one direction) for `bytes`.
+    #[inline]
+    pub fn wire_time(&self, bytes: u64) -> Time {
+        Time::for_bytes(bytes, self.nic_bw)
+    }
+
+    /// Endpoint bus occupancy caused by NIC DMA for `bytes`.
+    #[inline]
+    pub fn dma_bus_time(&self, bytes: u64, node: &NodeParams) -> Time {
+        Time::for_bytes(
+            (bytes as f64 * self.dma_bus_factor) as u64,
+            node.bus_bw,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> NodeParams {
+        NodeParams {
+            cores: 4,
+            copy_rate: 8e9,
+            bus_bw: 80e9,
+            reduce_rate: 3e9,
+            reduce_rate_avx: 12e9,
+            flag_latency: Time::from_ns(150),
+            sm_chunk: 8 * 1024,
+            solo_setup: Time::from_us(2),
+        }
+    }
+
+    #[test]
+    fn derived_times() {
+        let n = node();
+        assert_eq!(n.copy_time(8_000_000_000), Time::from_secs_f64(1.0));
+        assert!(n.bus_time(1 << 20) < n.copy_time(1 << 20));
+        assert!(n.reduce_time(1 << 20, true) < n.reduce_time(1 << 20, false));
+    }
+
+    #[test]
+    fn sm_fragment_count() {
+        let n = node();
+        assert_eq!(n.sm_fragments(1), 1);
+        assert_eq!(n.sm_fragments(8 * 1024), 1);
+        assert_eq!(n.sm_fragments(8 * 1024 + 1), 2);
+        assert_eq!(n.sm_fragments(64 * 1024), 8);
+        assert_eq!(n.sm_fragments(0), 1); // zero-byte ops still sync once
+    }
+
+    #[test]
+    fn net_times() {
+        let net = NetParams {
+            nic_bw: 10e9,
+            latency: Time::from_us(1),
+            dma_bus_factor: 1.0,
+            core_bw: None,
+        };
+        let n = node();
+        assert_eq!(net.wire_time(10_000_000_000), Time::from_secs_f64(1.0));
+        // DMA charge is bytes/bus_bw when factor is 1.
+        assert_eq!(net.dma_bus_time(80_000, &n), Time::from_us(1));
+    }
+}

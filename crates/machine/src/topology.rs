@@ -1,0 +1,130 @@
+//! Cluster topology: `n` nodes × `p` ranks per node.
+//!
+//! The paper restricts HAN to the two levels exposed portably by
+//! `MPI_Comm_split_type` (intra-node / inter-node), so the topology is a
+//! flat grid of nodes; rank `r` lives on node `r / ppn` with local index
+//! `r % ppn` (block placement, the `--map-by core` default the paper's
+//! experiments use).
+
+use serde::{Deserialize, Serialize};
+
+/// Where a world rank lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    pub node: usize,
+    pub local: usize,
+}
+
+/// An `n`-node × `p`-process-per-node cluster layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: usize,
+    ppn: usize,
+}
+
+impl Topology {
+    /// Create a topology; panics on zero nodes or zero ppn (an empty
+    /// machine cannot run any program).
+    pub fn new(nodes: usize, ppn: usize) -> Self {
+        assert!(nodes > 0, "topology needs at least one node");
+        assert!(ppn > 0, "topology needs at least one rank per node");
+        Topology { nodes, ppn }
+    }
+
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    #[inline]
+    pub fn ppn(&self) -> usize {
+        self.ppn
+    }
+
+    #[inline]
+    pub fn world_size(&self) -> usize {
+        self.nodes * self.ppn
+    }
+
+    #[inline]
+    pub fn location(&self, rank: usize) -> Location {
+        debug_assert!(rank < self.world_size(), "rank {rank} out of range");
+        Location {
+            node: rank / self.ppn,
+            local: rank % self.ppn,
+        }
+    }
+
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.ppn
+    }
+
+    #[inline]
+    pub fn rank_of(&self, node: usize, local: usize) -> usize {
+        debug_assert!(node < self.nodes && local < self.ppn);
+        node * self.ppn + local
+    }
+
+    /// Are two world ranks on the same node?
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// World ranks living on `node`, in local order.
+    pub fn node_ranks(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        let base = node * self.ppn;
+        base..base + self.ppn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_placement() {
+        let t = Topology::new(4, 3);
+        assert_eq!(t.world_size(), 12);
+        assert_eq!(t.location(0), Location { node: 0, local: 0 });
+        assert_eq!(t.location(5), Location { node: 1, local: 2 });
+        assert_eq!(t.location(11), Location { node: 3, local: 2 });
+        assert_eq!(t.rank_of(1, 2), 5);
+    }
+
+    #[test]
+    fn same_node_detection() {
+        let t = Topology::new(2, 4);
+        assert!(t.same_node(0, 3));
+        assert!(!t.same_node(3, 4));
+        assert!(t.same_node(4, 7));
+    }
+
+    #[test]
+    fn node_ranks_iterates_locals() {
+        let t = Topology::new(3, 2);
+        assert_eq!(t.node_ranks(1).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_nodes_rejected() {
+        Topology::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ppn_rejected() {
+        Topology::new(4, 0);
+    }
+
+    #[test]
+    fn roundtrip_rank_location() {
+        let t = Topology::new(7, 5);
+        for r in 0..t.world_size() {
+            let loc = t.location(r);
+            assert_eq!(t.rank_of(loc.node, loc.local), r);
+        }
+    }
+}

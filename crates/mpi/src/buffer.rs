@@ -1,0 +1,199 @@
+//! Per-rank linear memories and buffer ranges.
+//!
+//! Each rank owns a flat virtual address space. Collective builders
+//! allocate ranges out of it (user buffers, shared-memory slots, pipeline
+//! scratch) with a bump allocator in [`crate::builder::ProgramBuilder`].
+//! Backing bytes are only materialized in data-verification mode; pure
+//! timing runs never allocate payloads, which is what makes 4096-rank ×
+//! 128 MB experiments feasible.
+
+/// A byte range within one rank's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufRange {
+    pub off: u64,
+    pub len: u64,
+}
+
+impl BufRange {
+    pub const EMPTY: BufRange = BufRange { off: 0, len: 0 };
+
+    pub fn new(off: u64, len: u64) -> Self {
+        BufRange { off, len }
+    }
+
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.off + self.len
+    }
+
+    /// A sub-range `[start, start+len)` relative to this range.
+    ///
+    /// Panics if the slice escapes the parent range — segmentation bugs in
+    /// collective builders show up here instead of as silent corruption.
+    pub fn slice(&self, start: u64, len: u64) -> BufRange {
+        assert!(
+            start + len <= self.len,
+            "slice [{start}, {}) escapes range of len {}",
+            start + len,
+            self.len
+        );
+        BufRange {
+            off: self.off + start,
+            len,
+        }
+    }
+
+    /// Split into `n` contiguous segments of `seg` bytes (last may be
+    /// short), the unit of HAN's pipelining.
+    pub fn segments(&self, seg: u64) -> Vec<BufRange> {
+        assert!(seg > 0, "segment size must be positive");
+        if self.len == 0 {
+            return vec![*self];
+        }
+        let mut out = Vec::with_capacity(self.len.div_ceil(seg) as usize);
+        let mut off = 0;
+        while off < self.len {
+            let len = seg.min(self.len - off);
+            out.push(self.slice(off, len));
+            off += len;
+        }
+        out
+    }
+}
+
+/// The materialized memories of all ranks (data-verification mode only).
+#[derive(Debug, Clone)]
+pub struct Memory {
+    mems: Vec<Vec<u8>>,
+}
+
+impl Memory {
+    /// Allocate zeroed memories with the given per-rank sizes.
+    pub fn new(sizes: &[u64]) -> Self {
+        Memory {
+            mems: sizes.iter().map(|&s| vec![0u8; s as usize]).collect(),
+        }
+    }
+
+    pub fn ranks(&self) -> usize {
+        self.mems.len()
+    }
+
+    pub fn read(&self, rank: usize, r: BufRange) -> &[u8] {
+        &self.mems[rank][r.off as usize..r.end() as usize]
+    }
+
+    pub fn write(&mut self, rank: usize, r: BufRange, data: &[u8]) {
+        assert_eq!(data.len() as u64, r.len, "write length mismatch");
+        self.mems[rank][r.off as usize..r.end() as usize].copy_from_slice(data);
+    }
+
+    /// Copy within a rank (may not overlap).
+    pub fn copy_within_rank(&mut self, rank: usize, src: BufRange, dst: BufRange) {
+        assert_eq!(src.len, dst.len);
+        let mem = &mut self.mems[rank];
+        assert!(
+            src.end() <= dst.off || dst.end() <= src.off || src.off == dst.off,
+            "overlapping copy"
+        );
+        if src.off == dst.off {
+            return;
+        }
+        let (a, b) = (src.off as usize, dst.off as usize);
+        let n = src.len as usize;
+        if a < b {
+            let (lo, hi) = mem.split_at_mut(b);
+            hi[..n].copy_from_slice(&lo[a..a + n]);
+        } else {
+            let (lo, hi) = mem.split_at_mut(a);
+            lo[b..b + n].copy_from_slice(&hi[..n]);
+        }
+    }
+
+    /// Copy across ranks (shared-memory window / message delivery).
+    pub fn copy_across(&mut self, src_rank: usize, src: BufRange, dst_rank: usize, dst: BufRange) {
+        assert_eq!(src.len, dst.len);
+        if src_rank == dst_rank {
+            self.copy_within_rank(src_rank, src, dst);
+            return;
+        }
+        let (a, b) = if src_rank < dst_rank {
+            let (lo, hi) = self.mems.split_at_mut(dst_rank);
+            (&lo[src_rank], &mut hi[0])
+        } else {
+            let (lo, hi) = self.mems.split_at_mut(src_rank);
+            (&hi[0], &mut lo[dst_rank])
+        };
+        b[dst.off as usize..dst.end() as usize]
+            .copy_from_slice(&a[src.off as usize..src.end() as usize]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_and_end() {
+        let r = BufRange::new(100, 50);
+        assert_eq!(r.end(), 150);
+        let s = r.slice(10, 20);
+        assert_eq!(s, BufRange::new(110, 20));
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_out_of_bounds() {
+        BufRange::new(0, 10).slice(5, 6);
+    }
+
+    #[test]
+    fn segmentation() {
+        let r = BufRange::new(0, 10);
+        let segs = r.segments(4);
+        assert_eq!(
+            segs,
+            vec![
+                BufRange::new(0, 4),
+                BufRange::new(4, 4),
+                BufRange::new(8, 2)
+            ]
+        );
+        // Segment larger than the buffer: one segment.
+        assert_eq!(r.segments(100), vec![BufRange::new(0, 10)]);
+        // Zero-length buffer still produces one (empty) segment so
+        // zero-byte collectives have a pipeline to run.
+        assert_eq!(BufRange::new(5, 0).segments(4).len(), 1);
+    }
+
+    #[test]
+    fn memory_read_write() {
+        let mut m = Memory::new(&[16, 8]);
+        assert_eq!(m.ranks(), 2);
+        m.write(0, BufRange::new(4, 3), &[1, 2, 3]);
+        assert_eq!(m.read(0, BufRange::new(4, 3)), &[1, 2, 3]);
+        assert_eq!(m.read(0, BufRange::new(0, 4)), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn copy_within_both_directions() {
+        let mut m = Memory::new(&[16]);
+        m.write(0, BufRange::new(0, 4), &[9, 8, 7, 6]);
+        m.copy_within_rank(0, BufRange::new(0, 4), BufRange::new(8, 4));
+        assert_eq!(m.read(0, BufRange::new(8, 4)), &[9, 8, 7, 6]);
+        m.write(0, BufRange::new(12, 2), &[1, 2]);
+        m.copy_within_rank(0, BufRange::new(12, 2), BufRange::new(0, 2));
+        assert_eq!(m.read(0, BufRange::new(0, 2)), &[1, 2]);
+    }
+
+    #[test]
+    fn copy_across_ranks() {
+        let mut m = Memory::new(&[8, 8]);
+        m.write(1, BufRange::new(0, 4), &[5, 6, 7, 8]);
+        m.copy_across(1, BufRange::new(0, 4), 0, BufRange::new(4, 4));
+        assert_eq!(m.read(0, BufRange::new(4, 4)), &[5, 6, 7, 8]);
+        // And low→high rank order.
+        m.copy_across(0, BufRange::new(4, 2), 1, BufRange::new(6, 2));
+        assert_eq!(m.read(1, BufRange::new(6, 2)), &[5, 6]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Program construction.
+//!
+//! The builder is the API collective modules program against: it bump-
+//! allocates per-rank buffers, creates ops with dependencies, and creates
+//! pre-matched send/recv pairs. Because both halves of every message are
+//! created together, there is no tag ambiguity anywhere in the system.
+
+use crate::buffer::BufRange;
+use crate::program::{MsgId, MsgMeta, Op, OpId, OpKind, Program};
+use han_sim::Time;
+
+/// Incremental builder for a [`Program`].
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    ops: Vec<Op>,
+    msgs: Vec<MsgMeta>,
+    nranks: usize,
+    mem_size: Vec<u64>,
+}
+
+impl ProgramBuilder {
+    pub fn new(nranks: usize) -> Self {
+        assert!(nranks > 0);
+        ProgramBuilder {
+            ops: Vec::new(),
+            msgs: Vec::new(),
+            nranks,
+            mem_size: vec![0; nranks],
+        }
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Bump-allocate `bytes` in `rank`'s address space.
+    pub fn alloc(&mut self, rank: usize, bytes: u64) -> BufRange {
+        let off = self.mem_size[rank];
+        self.mem_size[rank] += bytes;
+        BufRange::new(off, bytes)
+    }
+
+    /// Allocate the same number of bytes on every rank (e.g. the user
+    /// buffer of a collective). Offsets may differ across ranks.
+    pub fn alloc_all(&mut self, bytes: u64) -> Vec<BufRange> {
+        (0..self.nranks).map(|r| self.alloc(r, bytes)).collect()
+    }
+
+    /// Add an op owned by `rank`, runnable after `deps`.
+    pub fn op(&mut self, rank: usize, kind: OpKind, deps: &[OpId]) -> OpId {
+        debug_assert!(rank < self.nranks, "rank {rank} out of range");
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(Op {
+            rank: rank as u32,
+            kind,
+            deps: deps.to_vec(),
+        });
+        id
+    }
+
+    pub fn nop(&mut self, rank: usize, deps: &[OpId]) -> OpId {
+        self.op(rank, OpKind::Nop, deps)
+    }
+
+    pub fn delay(&mut self, rank: usize, dur: Time, deps: &[OpId]) -> OpId {
+        self.op(rank, OpKind::Delay { dur }, deps)
+    }
+
+    pub fn sleep(&mut self, rank: usize, dur: Time, deps: &[OpId]) -> OpId {
+        self.op(rank, OpKind::Sleep { dur }, deps)
+    }
+
+    /// Create a matched send/recv pair carrying `bytes` from `src` to `dst`.
+    ///
+    /// Returns `(send_op, recv_op)`. The send depends on `sdeps` (data must
+    /// be ready), the recv on `rdeps` (receive buffer must be free).
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_recv(
+        &mut self,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        sbuf: Option<BufRange>,
+        dbuf: Option<BufRange>,
+        sdeps: &[OpId],
+        rdeps: &[OpId],
+    ) -> (OpId, OpId) {
+        assert_ne!(src, dst, "self-message from rank {src}");
+        if let Some(r) = &sbuf {
+            debug_assert_eq!(r.len, bytes);
+        }
+        if let Some(r) = &dbuf {
+            debug_assert_eq!(r.len, bytes);
+        }
+        let msg = MsgId(self.msgs.len() as u32);
+        self.msgs.push(MsgMeta {
+            src: src as u32,
+            dst: dst as u32,
+            bytes,
+            sbuf,
+            dbuf,
+        });
+        let s = self.op(src, OpKind::Send { msg }, sdeps);
+        let r = self.op(dst, OpKind::Recv { msg }, rdeps);
+        (s, r)
+    }
+
+    /// Join a set of per-rank dependency frontiers into single nops, one
+    /// per rank that appears. Useful for task boundaries.
+    pub fn join_per_rank(&mut self, deps_by_rank: &[(usize, Vec<OpId>)]) -> Vec<(usize, OpId)> {
+        deps_by_rank
+            .iter()
+            .map(|(rank, deps)| (*rank, self.nop(*rank, deps)))
+            .collect()
+    }
+
+    pub fn build(self) -> Program {
+        let p = Program {
+            ops: self.ops,
+            msgs: self.msgs,
+            nranks: self.nranks,
+            mem_size: self.mem_size,
+        };
+        debug_assert_eq!(p.validate(), Ok(()));
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_bump_per_rank() {
+        let mut b = ProgramBuilder::new(2);
+        let a = b.alloc(0, 16);
+        let c = b.alloc(0, 8);
+        let d = b.alloc(1, 4);
+        assert_eq!(a, BufRange::new(0, 16));
+        assert_eq!(c, BufRange::new(16, 8));
+        assert_eq!(d, BufRange::new(0, 4));
+        let p = b.build();
+        assert_eq!(p.mem_size, vec![24, 4]);
+    }
+
+    #[test]
+    fn alloc_all_same_size() {
+        let mut b = ProgramBuilder::new(3);
+        b.alloc(1, 7); // skew rank 1's offsets
+        let bufs = b.alloc_all(10);
+        assert_eq!(bufs.len(), 3);
+        assert_eq!(bufs[0], BufRange::new(0, 10));
+        assert_eq!(bufs[1], BufRange::new(7, 10));
+        for r in &bufs {
+            assert_eq!(r.len, 10);
+        }
+    }
+
+    #[test]
+    fn send_recv_creates_matched_pair() {
+        let mut b = ProgramBuilder::new(2);
+        let (s, r) = b.send_recv(0, 1, 64, None, None, &[], &[]);
+        let p = b.build();
+        assert!(p.validate().is_ok());
+        match (&p.op(s).kind, &p.op(r).kind) {
+            (OpKind::Send { msg: m1 }, OpKind::Recv { msg: m2 }) => assert_eq!(m1, m2),
+            other => panic!("unexpected kinds {other:?}"),
+        }
+        assert_eq!(p.msgs.len(), 1);
+        assert_eq!(p.msg(MsgId(0)).bytes, 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_send_panics() {
+        let mut b = ProgramBuilder::new(2);
+        b.send_recv(1, 1, 8, None, None, &[], &[]);
+    }
+
+    #[test]
+    fn dependency_chain_builds_valid_program() {
+        let mut b = ProgramBuilder::new(1);
+        let a = b.nop(0, &[]);
+        let c = b.delay(0, Time::from_ns(5), &[a]);
+        let d = b.sleep(0, Time::from_ns(5), &[a, c]);
+        let p = b.build();
+        assert_eq!(p.validate(), Ok(()));
+        assert_eq!(p.op(d).deps, vec![a, c]);
+    }
+
+    #[test]
+    fn join_per_rank_creates_nops() {
+        let mut b = ProgramBuilder::new(2);
+        let a = b.nop(0, &[]);
+        let c = b.nop(1, &[]);
+        let joins = b.join_per_rank(&[(0, vec![a]), (1, vec![c])]);
+        assert_eq!(joins.len(), 2);
+        let p = b.build();
+        assert_eq!(p.op(joins[0].1).rank, 0);
+        assert_eq!(p.op(joins[1].1).rank, 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Element datatypes and reduction operators.
+//!
+//! The paper's collectives are value-oblivious except for reductions
+//! (`MPI_Allreduce`, `MPI_Reduce`), so this module carries just enough type
+//! information to (a) size elements and (b) apply reduction operators to
+//! raw byte buffers in data-verification mode.
+
+use std::fmt;
+
+/// Supported element types (subset of MPI's predefined datatypes that the
+/// paper's experiments exercise: IMB uses bytes/floats, ASP uses i32
+/// distances, Horovod reduces f32 gradients).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Uint8,
+    Int32,
+    Int64,
+    Float32,
+    Float64,
+}
+
+impl DataType {
+    #[inline]
+    pub fn size(self) -> usize {
+        match self {
+            DataType::Uint8 => 1,
+            DataType::Int32 | DataType::Float32 => 4,
+            DataType::Int64 | DataType::Float64 => 8,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Uint8 => "u8",
+            DataType::Int32 => "i32",
+            DataType::Int64 => "i64",
+            DataType::Float32 => "f32",
+            DataType::Float64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Reduction operators (commutative, as assumed by the paper's
+/// `MPI_Allreduce` design in section III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    Sum,
+    Prod,
+    Max,
+    Min,
+}
+
+macro_rules! reduce_typed {
+    ($t:ty, $op:expr, $src:expr, $dst:expr) => {{
+        let es = std::mem::size_of::<$t>();
+        debug_assert_eq!($src.len() % es, 0);
+        for (d, s) in $dst.chunks_exact_mut(es).zip($src.chunks_exact(es)) {
+            let a = <$t>::from_le_bytes(d.try_into().unwrap());
+            let b = <$t>::from_le_bytes(s.try_into().unwrap());
+            let r: $t = match $op {
+                ReduceOp::Sum => a + b,
+                ReduceOp::Prod => a * b,
+                ReduceOp::Max => if b > a { b } else { a },
+                ReduceOp::Min => if b < a { b } else { a },
+            };
+            d.copy_from_slice(&r.to_le_bytes());
+        }
+    }};
+}
+
+/// Apply `dst[i] = op(dst[i], src[i])` elementwise over raw little-endian
+/// buffers. Lengths must match and be a multiple of the element size.
+pub fn apply_reduce(dtype: DataType, op: ReduceOp, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(
+        src.len(),
+        dst.len(),
+        "reduce operand length mismatch: {} vs {}",
+        src.len(),
+        dst.len()
+    );
+    assert_eq!(
+        src.len() % dtype.size(),
+        0,
+        "buffer not a whole number of {dtype} elements"
+    );
+    match dtype {
+        DataType::Uint8 => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = match op {
+                    ReduceOp::Sum => d.wrapping_add(*s),
+                    ReduceOp::Prod => d.wrapping_mul(*s),
+                    ReduceOp::Max => (*d).max(*s),
+                    ReduceOp::Min => (*d).min(*s),
+                };
+            }
+        }
+        DataType::Int32 => reduce_typed!(i32, op, src, dst),
+        DataType::Int64 => reduce_typed!(i64, op, src, dst),
+        DataType::Float32 => reduce_typed!(f32, op, src, dst),
+        DataType::Float64 => reduce_typed!(f64, op, src, dst),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_sizes() {
+        assert_eq!(DataType::Uint8.size(), 1);
+        assert_eq!(DataType::Int32.size(), 4);
+        assert_eq!(DataType::Float64.size(), 8);
+    }
+
+    fn as_bytes_i32(xs: &[i32]) -> Vec<u8> {
+        xs.iter().flat_map(|x| x.to_le_bytes()).collect()
+    }
+
+    fn from_bytes_i32(b: &[u8]) -> Vec<i32> {
+        b.chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn sum_i32() {
+        let src = as_bytes_i32(&[1, -2, 3]);
+        let mut dst = as_bytes_i32(&[10, 20, 30]);
+        apply_reduce(DataType::Int32, ReduceOp::Sum, &src, &mut dst);
+        assert_eq!(from_bytes_i32(&dst), vec![11, 18, 33]);
+    }
+
+    #[test]
+    fn max_min_prod_i32() {
+        let src = as_bytes_i32(&[5, -7, 2]);
+        let mut dst = as_bytes_i32(&[3, -2, 4]);
+        apply_reduce(DataType::Int32, ReduceOp::Max, &src, &mut dst);
+        assert_eq!(from_bytes_i32(&dst), vec![5, -2, 4]);
+        let mut dst = as_bytes_i32(&[3, -2, 4]);
+        apply_reduce(DataType::Int32, ReduceOp::Min, &src, &mut dst);
+        assert_eq!(from_bytes_i32(&dst), vec![3, -7, 2]);
+        let mut dst = as_bytes_i32(&[3, -2, 4]);
+        apply_reduce(DataType::Int32, ReduceOp::Prod, &src, &mut dst);
+        assert_eq!(from_bytes_i32(&dst), vec![15, 14, 8]);
+    }
+
+    #[test]
+    fn sum_f64() {
+        let src: Vec<u8> = [1.5f64, 2.25].iter().flat_map(|x| x.to_le_bytes()).collect();
+        let mut dst: Vec<u8> = [0.5f64, 0.75].iter().flat_map(|x| x.to_le_bytes()).collect();
+        apply_reduce(DataType::Float64, ReduceOp::Sum, &src, &mut dst);
+        let out: Vec<f64> = dst
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(out, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn u8_wrapping_sum() {
+        let src = vec![200u8, 1];
+        let mut dst = vec![100u8, 2];
+        apply_reduce(DataType::Uint8, ReduceOp::Sum, &src, &mut dst);
+        assert_eq!(dst, vec![44, 3]); // 300 wraps to 44
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let src = vec![0u8; 4];
+        let mut dst = vec![0u8; 8];
+        apply_reduce(DataType::Int32, ReduceOp::Sum, &src, &mut dst);
+    }
+
+    #[test]
+    fn sum_is_commutative_over_buffers() {
+        // op(a<-b) then op(a<-c) == op(a<-c) then op(a<-b)
+        let b = as_bytes_i32(&[4, 5, 6]);
+        let c = as_bytes_i32(&[7, 8, 9]);
+        let mut a1 = as_bytes_i32(&[1, 2, 3]);
+        let mut a2 = as_bytes_i32(&[1, 2, 3]);
+        apply_reduce(DataType::Int32, ReduceOp::Sum, &b, &mut a1);
+        apply_reduce(DataType::Int32, ReduceOp::Sum, &c, &mut a1);
+        apply_reduce(DataType::Int32, ReduceOp::Sum, &c, &mut a2);
+        apply_reduce(DataType::Int32, ReduceOp::Sum, &b, &mut a2);
+        assert_eq!(a1, a2);
+    }
+}

@@ -1,0 +1,327 @@
+//! Programs: per-rank DAGs of communication and compute operations.
+//!
+//! A [`Program`] is the compiled form of a collective (or a HAN *task*
+//! benchmark, or a whole application phase): a flat vector of [`Op`]s, each
+//! owned by a rank, plus dependency edges. Messages are pre-matched at
+//! build time — each send/recv pair shares a [`MsgId`] — so the executor
+//! never performs tag matching; this both simplifies the transport and
+//! guarantees determinism.
+
+use crate::buffer::BufRange;
+use crate::datatype::{DataType, ReduceOp};
+use han_sim::Time;
+
+/// Index of an op within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u32);
+
+/// Index of a pre-matched message within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsgId(pub u32);
+
+/// What an op does. Resource costs are derived by the executor from the
+/// machine parameters; `OpKind` carries only semantics and sizes.
+#[derive(Debug, Clone)]
+pub enum OpKind {
+    /// No-op: join/fork point for dependencies (also used to observe the
+    /// completion time of a task).
+    Nop,
+    /// Occupies the rank's CPU for a fixed duration (module setup costs,
+    /// e.g. SOLO window synchronization, SM fragment flags).
+    Delay { dur: Time },
+    /// Waits without occupying any resource (benchmark-injected skew).
+    Sleep { dur: Time },
+    /// Local memcpy: CPU at `copy_rate` + node memory bus.
+    Copy {
+        bytes: u64,
+        src: Option<BufRange>,
+        dst: Option<BufRange>,
+    },
+    /// One-sided read of `bytes` from another rank **on the same node**
+    /// (shared-memory mapping / XPMEM-style): this rank's CPU + the node
+    /// bus. The dependency edge from the producer supplies the
+    /// happens-before flag.
+    CrossCopy {
+        from: u32,
+        bytes: u64,
+        /// Range in `from`'s address space.
+        src: Option<BufRange>,
+        /// Range in this rank's address space.
+        dst: Option<BufRange>,
+    },
+    /// Local reduction `dst = op(dst, src)`: CPU at the scalar or AVX rate
+    /// + bus for operand traffic.
+    Reduce {
+        bytes: u64,
+        vectorized: bool,
+        op: ReduceOp,
+        dtype: DataType,
+        src: Option<BufRange>,
+        dst: Option<BufRange>,
+    },
+    /// Reduction reading the source operand one-sided from a same-node
+    /// peer: `dst = op(dst, remote src)`. Used by the SM/SOLO reduce paths
+    /// where the node leader consumes children's contributions in place.
+    ReduceFrom {
+        from: u32,
+        bytes: u64,
+        vectorized: bool,
+        op: ReduceOp,
+        dtype: DataType,
+        src: Option<BufRange>,
+        dst: Option<BufRange>,
+    },
+    /// The sending half of message `msg`.
+    Send { msg: MsgId },
+    /// The receiving half of message `msg`; completes when the payload has
+    /// arrived and the receiver CPU has processed it.
+    Recv { msg: MsgId },
+}
+
+/// A pre-matched point-to-point message.
+#[derive(Debug, Clone)]
+pub struct MsgMeta {
+    pub src: u32,
+    pub dst: u32,
+    pub bytes: u64,
+    pub sbuf: Option<BufRange>,
+    pub dbuf: Option<BufRange>,
+}
+
+/// One operation, owned by `rank`, runnable once all `deps` finished.
+#[derive(Debug, Clone)]
+pub struct Op {
+    pub rank: u32,
+    pub kind: OpKind,
+    pub deps: Vec<OpId>,
+}
+
+/// A complete program over `nranks` world ranks.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    pub ops: Vec<Op>,
+    pub msgs: Vec<MsgMeta>,
+    pub nranks: usize,
+    /// Bump-allocated address-space size per rank (for data mode).
+    pub mem_size: Vec<u64>,
+}
+
+impl Program {
+    pub fn op(&self, id: OpId) -> &Op {
+        &self.ops[id.0 as usize]
+    }
+
+    pub fn msg(&self, id: MsgId) -> &MsgMeta {
+        &self.msgs[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Structural validation; called by the executor in debug builds and by
+    /// tests. Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mem_size.len() != self.nranks {
+            return Err("mem_size length != nranks".into());
+        }
+        let mut send_seen = vec![false; self.msgs.len()];
+        let mut recv_seen = vec![false; self.msgs.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.rank as usize >= self.nranks {
+                return Err(format!("op {i}: rank {} out of range", op.rank));
+            }
+            for d in &op.deps {
+                if d.0 as usize >= self.ops.len() {
+                    return Err(format!("op {i}: dep {} out of range", d.0));
+                }
+                if d.0 as usize >= i {
+                    return Err(format!("op {i}: forward/self dep on {}", d.0));
+                }
+            }
+            let check_buf = |r: &Option<BufRange>, rank: u32, what: &str| -> Result<(), String> {
+                if let Some(r) = r {
+                    if r.end() > self.mem_size[rank as usize] {
+                        return Err(format!(
+                            "op {i}: {what} range [{}, {}) exceeds rank {rank} memory {}",
+                            r.off,
+                            r.end(),
+                            self.mem_size[rank as usize]
+                        ));
+                    }
+                }
+                Ok(())
+            };
+            match &op.kind {
+                OpKind::Copy { src, dst, bytes } => {
+                    check_buf(src, op.rank, "src")?;
+                    check_buf(dst, op.rank, "dst")?;
+                    for r in [src, dst].into_iter().flatten() {
+                        if r.len != *bytes {
+                            return Err(format!("op {i}: buffer length != bytes"));
+                        }
+                    }
+                }
+                OpKind::CrossCopy { from, src, dst, bytes }
+                | OpKind::ReduceFrom { from, src, dst, bytes, .. } => {
+                    if *from as usize >= self.nranks {
+                        return Err(format!("op {i}: from rank {from} out of range"));
+                    }
+                    check_buf(src, *from, "remote src")?;
+                    check_buf(dst, op.rank, "dst")?;
+                    for r in [src, dst].into_iter().flatten() {
+                        if r.len != *bytes {
+                            return Err(format!("op {i}: buffer length != bytes"));
+                        }
+                    }
+                }
+                OpKind::Reduce { src, dst, bytes, .. } => {
+                    check_buf(src, op.rank, "src")?;
+                    check_buf(dst, op.rank, "dst")?;
+                    for r in [src, dst].into_iter().flatten() {
+                        if r.len != *bytes {
+                            return Err(format!("op {i}: buffer length != bytes"));
+                        }
+                    }
+                }
+                OpKind::Send { msg } => {
+                    let m = msg.0 as usize;
+                    if m >= self.msgs.len() {
+                        return Err(format!("op {i}: msg {m} out of range"));
+                    }
+                    if send_seen[m] {
+                        return Err(format!("op {i}: duplicate send for msg {m}"));
+                    }
+                    send_seen[m] = true;
+                    if self.msgs[m].src != op.rank {
+                        return Err(format!("op {i}: send rank != msg src"));
+                    }
+                }
+                OpKind::Recv { msg } => {
+                    let m = msg.0 as usize;
+                    if m >= self.msgs.len() {
+                        return Err(format!("op {i}: msg {m} out of range"));
+                    }
+                    if recv_seen[m] {
+                        return Err(format!("op {i}: duplicate recv for msg {m}"));
+                    }
+                    recv_seen[m] = true;
+                    if self.msgs[m].dst != op.rank {
+                        return Err(format!("op {i}: recv rank != msg dst"));
+                    }
+                }
+                OpKind::Nop | OpKind::Delay { .. } | OpKind::Sleep { .. } => {}
+            }
+        }
+        for (m, meta) in self.msgs.iter().enumerate() {
+            if !send_seen[m] || !recv_seen[m] {
+                return Err(format!("msg {m}: missing send or recv op"));
+            }
+            if meta.src == meta.dst {
+                return Err(format!("msg {m}: self-message"));
+            }
+            if let Some(r) = &meta.sbuf {
+                if r.end() > self.mem_size[meta.src as usize] {
+                    return Err(format!("msg {m}: sbuf out of range"));
+                }
+            }
+            if let Some(r) = &meta.dbuf {
+                if r.end() > self.mem_size[meta.dst as usize] {
+                    return Err(format!("msg {m}: dbuf out of range"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_prog(nranks: usize) -> Program {
+        Program {
+            ops: vec![],
+            msgs: vec![],
+            nranks,
+            mem_size: vec![0; nranks],
+        }
+    }
+
+    #[test]
+    fn empty_program_is_valid() {
+        assert!(empty_prog(2).validate().is_ok());
+    }
+
+    #[test]
+    fn forward_dep_rejected() {
+        let mut p = empty_prog(1);
+        p.ops.push(Op {
+            rank: 0,
+            kind: OpKind::Nop,
+            deps: vec![OpId(0)],
+        });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn missing_recv_rejected() {
+        let mut p = empty_prog(2);
+        p.msgs.push(MsgMeta {
+            src: 0,
+            dst: 1,
+            bytes: 8,
+            sbuf: None,
+            dbuf: None,
+        });
+        p.ops.push(Op {
+            rank: 0,
+            kind: OpKind::Send { msg: MsgId(0) },
+            deps: vec![],
+        });
+        assert!(p.validate().unwrap_err().contains("missing send or recv"));
+    }
+
+    #[test]
+    fn buffer_overflow_rejected() {
+        let mut p = empty_prog(1);
+        p.mem_size[0] = 4;
+        p.ops.push(Op {
+            rank: 0,
+            kind: OpKind::Copy {
+                bytes: 8,
+                src: Some(BufRange::new(0, 8)),
+                dst: None,
+            },
+            deps: vec![],
+        });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn self_message_rejected() {
+        let mut p = empty_prog(2);
+        p.msgs.push(MsgMeta {
+            src: 1,
+            dst: 1,
+            bytes: 8,
+            sbuf: None,
+            dbuf: None,
+        });
+        p.ops.push(Op {
+            rank: 1,
+            kind: OpKind::Send { msg: MsgId(0) },
+            deps: vec![],
+        });
+        p.ops.push(Op {
+            rank: 1,
+            kind: OpKind::Recv { msg: MsgId(0) },
+            deps: vec![],
+        });
+        assert!(p.validate().unwrap_err().contains("self-message"));
+    }
+}

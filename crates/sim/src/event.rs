@@ -1,0 +1,161 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper over a binary heap keyed by `(time, sequence)`. The
+//! sequence number makes pops of simultaneous events FIFO in push order,
+//! which is the property that keeps the whole simulator deterministic: two
+//! runs of the same program produce identical resource-acquisition orders
+//! and therefore identical virtual timings.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// An event queue over payloads of type `E`.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Time,
+    popped: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Schedule `payload` at absolute virtual time `at`.
+    ///
+    /// Scheduling in the past is a simulator bug; it panics in debug builds
+    /// and is clamped to `now` in release builds.
+    pub fn push(&mut self, at: Time, payload: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        debug_assert!(e.at >= self.now, "event queue went backwards");
+        self.now = e.at;
+        self.popped += 1;
+        Some((e.at, e.payload))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Current virtual time (timestamp of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Total number of events processed so far (engine statistic).
+    pub fn processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(30), "c");
+        q.push(Time::from_ns(10), "a");
+        q.push(Time::from_ns(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ns(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(10), ());
+        q.push(Time::from_ns(10), ());
+        q.push(Time::from_ns(25), ());
+        let mut last = Time::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            assert_eq!(q.now(), t);
+            last = t;
+        }
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(7), ());
+        assert_eq!(q.peek_time(), Some(Time::from_ns(7)));
+        assert_eq!(q.now(), Time::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

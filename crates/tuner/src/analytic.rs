@@ -1,0 +1,185 @@
+//! Conventional analytic cost models, for the accuracy comparison that
+//! motivates HAN's empirical approach (paper section I-B).
+//!
+//! "Conventional models such as Hockney, LogP, LogGP and PLogP assume the
+//! cost of MPI point-to-point operations between any two processes remains
+//! constant. However, this assumption is no longer valid on heterogeneous
+//! systems." These implementations predict a hierarchical broadcast's cost
+//! from closed-form network parameters only — no task measurement — so
+//! their error against the simulated ground truth quantifies what HAN's
+//! measured-task model buys (an ablation bench regenerates this
+//! comparison).
+
+use han_machine::{Flavor, MachinePreset};
+use han_core::HanConfig;
+use han_sim::Time;
+
+/// Which analytic model to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalyticModel {
+    /// `T = depth · (α + m/B)` with a single latency/bandwidth pair.
+    Hockney,
+    /// LogP with fixed-size packets: per hop `L + 2o + g·ceil(m/w)`.
+    LogP,
+    /// LogGP: per hop `L + 2o + (m-1)·G`.
+    LogGp,
+    /// PLogP: size-dependent overheads `o(m)`, `g(m)`.
+    PLogP,
+    /// Hierarchical with the perfect-overlap assumption of prior work
+    /// ([2, 21]): `T = max(T_inter, T_intra)` per steady-state segment.
+    PerfectOverlap,
+}
+
+impl AnalyticModel {
+    pub const ALL: [AnalyticModel; 5] = [
+        AnalyticModel::Hockney,
+        AnalyticModel::LogP,
+        AnalyticModel::LogGp,
+        AnalyticModel::PLogP,
+        AnalyticModel::PerfectOverlap,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnalyticModel::Hockney => "Hockney",
+            AnalyticModel::LogP => "LogP",
+            AnalyticModel::LogGp => "LogGP",
+            AnalyticModel::PLogP => "PLogP",
+            AnalyticModel::PerfectOverlap => "perfect-overlap",
+        }
+    }
+}
+
+fn log2_ceil(n: usize) -> u64 {
+    (usize::BITS - n.max(1).saturating_sub(1).leading_zeros()) as u64
+}
+
+/// Predict the cost of a hierarchical `MPI_Bcast` of `m` bytes under
+/// configuration `cfg` on `preset`, using closed-form parameters only.
+pub fn predict_bcast(model: AnalyticModel, preset: &MachinePreset, cfg: &HanConfig, m: u64) -> Time {
+    let p2p = Flavor::OpenMpi.p2p();
+    let nodes = preset.topology.nodes();
+    let ppn = preset.topology.ppn();
+    let np = nodes * ppn;
+    let alpha = preset.net.latency + p2p.o_send + p2p.o_recv;
+    let big_g = 1.0 / preset.net.nic_bw; // seconds per byte
+
+    match model {
+        AnalyticModel::Hockney => {
+            // Flat binomial over all processes; one α+m/B per hop.
+            let depth = log2_ceil(np);
+            (alpha + Time::for_bytes(m, preset.net.nic_bw)) * depth
+        }
+        AnalyticModel::LogP => {
+            let w = 16 * 1024u64; // packet size
+            let g = Time::for_bytes(w, preset.net.nic_bw);
+            let per_hop = alpha + g * m.div_ceil(w);
+            per_hop * log2_ceil(np)
+        }
+        AnalyticModel::LogGp => {
+            let per_hop = alpha + Time::from_secs_f64(big_g * m.saturating_sub(1) as f64);
+            per_hop * log2_ceil(np)
+        }
+        AnalyticModel::PLogP => {
+            // Size-dependent o(m): protocol switch adds the rendezvous
+            // handshake beyond the eager limit; g(m) is the wire time.
+            let o_m = if p2p.is_eager(m) {
+                p2p.o_send + p2p.o_recv + p2p.cpu_byte_time(m) * 2
+            } else {
+                p2p.o_send + p2p.o_recv + p2p.rndv_handshake
+            };
+            let per_hop = preset.net.latency + o_m + Time::for_bytes(m, preset.net.nic_bw);
+            per_hop * log2_ceil(np)
+        }
+        AnalyticModel::PerfectOverlap => {
+            // Two-level pipeline with perfectly-overlapping levels:
+            // fill (one inter hop chain) + u·max(seg_inter, seg_intra).
+            let u = cfg.segments(m);
+            let seg = cfg.fs.min(m.max(1));
+            let t_inter =
+                (alpha + Time::for_bytes(seg, preset.net.nic_bw)) * log2_ceil(nodes);
+            let t_intra = Time::for_bytes(seg, preset.node.copy_rate) * 2
+                + preset.node.flag_latency * (ppn as u64);
+            t_inter + t_inter.max(t_intra) * (u.saturating_sub(1)) + t_intra
+        }
+    }
+}
+
+/// Mean absolute relative error of a model against ground-truth pairs
+/// `(predicted, actual)`.
+pub fn mean_relative_error(pairs: &[(Time, Time)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs
+        .iter()
+        .map(|(p, a)| {
+            let (p, a) = (p.as_ps() as f64, a.as_ps().max(1) as f64);
+            (p - a).abs() / a
+        })
+        .sum::<f64>()
+        / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use han_colls::stack::{time_coll, Coll};
+    use han_core::Han;
+    use han_machine::mini;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(1024), 10);
+    }
+
+    #[test]
+    fn models_produce_positive_growing_predictions() {
+        let preset = mini(4, 4);
+        let cfg = HanConfig::default();
+        for model in AnalyticModel::ALL {
+            let small = predict_bcast(model, &preset, &cfg, 4 * 1024);
+            let large = predict_bcast(model, &preset, &cfg, 4 << 20);
+            assert!(small > Time::ZERO, "{}", model.name());
+            assert!(large > small, "{} must grow with size", model.name());
+        }
+    }
+
+    #[test]
+    fn task_model_beats_analytic_models() {
+        // The paper's motivation: measured-task prediction is more
+        // accurate than closed-form models for hierarchical collectives.
+        let preset = mini(4, 4);
+        let cfg = HanConfig::default().with_fs(256 * 1024);
+        let m = 4 << 20;
+        let actual = time_coll(&Han::with_config(cfg), &preset, Coll::Bcast, m, 0);
+
+        let mut tb = crate::taskbench::TaskBench::new(&preset);
+        let task_pred = crate::model::predict(&mut tb, &cfg, Coll::Bcast, m);
+        let task_err = mean_relative_error(&[(task_pred, actual)]);
+
+        for model in [AnalyticModel::Hockney, AnalyticModel::LogGp] {
+            let pred = predict_bcast(model, &preset, &cfg, m);
+            let err = mean_relative_error(&[(pred, actual)]);
+            assert!(
+                task_err < err,
+                "{}: task model err {task_err:.3} should beat {err:.3}",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn mean_relative_error_math() {
+        let pairs = [
+            (Time::from_us(110), Time::from_us(100)),
+            (Time::from_us(80), Time::from_us(100)),
+        ];
+        let e = mean_relative_error(&pairs);
+        assert!((e - 0.15).abs() < 1e-9);
+        assert_eq!(mean_relative_error(&[]), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Fitting analytic model parameters from measurements (PLogP-style).
+//!
+//! The conventional models the paper criticizes (section I-B) are
+//! parameterized by a handful of network constants that practitioners
+//! *measure* — Kielmann et al.'s PLogP paper (ref \[18\]) is exactly a
+//! fast measurement procedure. This module fits the LogGP-style
+//! `T(m) = α + m·G` from ping-pong samples so the analytic baselines in
+//! [`crate::analytic`] can be driven by measured rather than nominal
+//! parameters, the fairest version of the comparison.
+
+use han_sim::Time;
+
+/// Fitted point-to-point parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FittedP2p {
+    /// Zero-byte one-way latency (α): intercept of the fit.
+    pub alpha: Time,
+    /// Per-byte gap (G), seconds per byte: slope of the fit.
+    pub gap_per_byte: f64,
+    /// Equivalent asymptotic bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Coefficient of determination of the linear fit (sanity signal:
+    /// protocol switch points show up as poor fits).
+    pub r2: f64,
+}
+
+/// Fit `T(m) = α + m·G` to `(bytes, one_way_time)` samples by ordinary
+/// least squares. At least two distinct sizes are required.
+pub fn fit_logp(samples: &[(u64, Time)]) -> FittedP2p {
+    assert!(
+        samples.len() >= 2,
+        "need at least two samples to fit α and G"
+    );
+    let n = samples.len() as f64;
+    let xs: Vec<f64> = samples.iter().map(|(b, _)| *b as f64).collect();
+    let ys: Vec<f64> = samples.iter().map(|(_, t)| t.as_secs_f64()).collect();
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 0.0, "need at least two distinct sizes");
+    let g = (n * sxy - sx * sy) / denom;
+    let a = (sy - g * sx) / n;
+
+    // R²
+    let mean_y = sy / n;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (y - (a + g * x)).powi(2))
+        .sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+
+    FittedP2p {
+        alpha: Time::from_secs_f64(a.max(0.0)),
+        gap_per_byte: g.max(0.0),
+        bandwidth: if g > 0.0 { 1.0 / g } else { f64::INFINITY },
+        r2,
+    }
+}
+
+/// Fit only over samples at or above `min_bytes` (skip the eager/latency
+/// regime, where the linear model does not hold).
+pub fn fit_logp_large(samples: &[(u64, Time)], min_bytes: u64) -> FittedP2p {
+    let large: Vec<(u64, Time)> = samples
+        .iter()
+        .copied()
+        .filter(|(b, _)| *b >= min_bytes)
+        .collect();
+    fit_logp(&large)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(alpha_us: f64, bw: f64, sizes: &[u64]) -> Vec<(u64, Time)> {
+        sizes
+            .iter()
+            .map(|&b| {
+                (
+                    b,
+                    Time::from_secs_f64(alpha_us * 1e-6 + b as f64 / bw),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_exact_linear_parameters() {
+        let samples = synth(2.0, 10e9, &[1024, 4096, 65536, 1 << 20, 16 << 20]);
+        let fit = fit_logp(&samples);
+        assert!((fit.alpha.as_us_f64() - 2.0).abs() < 0.05, "{fit:?}");
+        assert!((fit.bandwidth - 10e9).abs() / 10e9 < 0.01, "{fit:?}");
+        assert!(fit.r2 > 0.9999);
+    }
+
+    #[test]
+    fn protocol_kink_lowers_r2() {
+        // A rendezvous step at 64 KB breaks linearity.
+        let mut samples = synth(2.0, 10e9, &[1024, 4096, 16384]);
+        for &b in &[65536u64, 1 << 20, 16 << 20] {
+            samples.push((
+                b,
+                Time::from_secs_f64(12.0e-6 + b as f64 / 10e9), // +10us handshake
+            ));
+        }
+        let kinked = fit_logp(&samples);
+        let clean = fit_logp(&synth(2.0, 10e9, &[1024, 65536, 1 << 20, 16 << 20]));
+        assert!(kinked.r2 <= clean.r2);
+        // Restricting to the large regime recovers the true bandwidth.
+        let large = fit_logp_large(&samples, 65536);
+        assert!((large.bandwidth - 10e9).abs() / 10e9 < 0.01);
+        assert!((large.alpha.as_us_f64() - 12.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_underdetermined_input() {
+        fit_logp(&[(1024, Time::from_us(3))]);
+    }
+
+    #[test]
+    fn fit_matches_simulated_pingpong_shape() {
+        // End-to-end: fit against the simulator's own transport and check
+        // the recovered bandwidth is near the configured NIC rate.
+        use han_machine::{mini, Flavor, Machine};
+        use han_mpi::{execute, ExecOpts, ProgramBuilder};
+        let preset = mini(2, 1);
+        let mut samples = Vec::new();
+        for bytes in [256 * 1024u64, 1 << 20, 4 << 20, 16 << 20] {
+            let mut b = ProgramBuilder::new(2);
+            let (_, r1) = b.send_recv(0, 1, bytes, None, None, &[], &[]);
+            b.send_recv(1, 0, bytes, None, None, &[r1], &[]);
+            let prog = b.build();
+            let mut m = Machine::from_preset(&preset);
+            let rep = execute(&mut m, &prog, &ExecOpts::timing(Flavor::OpenMpi.p2p()));
+            samples.push((bytes, rep.makespan / 2));
+        }
+        let fit = fit_logp(&samples);
+        let nic = preset.net.nic_bw;
+        assert!(
+            (fit.bandwidth - nic).abs() / nic < 0.1,
+            "fitted {:.3e} vs nic {nic:.3e}",
+            fit.bandwidth
+        );
+        assert!(fit.r2 > 0.999);
+    }
+}

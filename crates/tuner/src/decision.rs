@@ -1,0 +1,210 @@
+//! Compact decision functions distilled from the lookup table.
+//!
+//! Step 2 of autotuning serves arbitrary `(n, p, m, t)` from the sampled
+//! table. The paper cites quadtree encoding \[35\] and decision trees
+//! \[36\] as ways to compress that table; this module implements the
+//! decision-tree flavour: adjacent message-size samples that tuned to the
+//! same configuration merge into one range rule, turning dozens of samples
+//! into a handful of `size ≤ bound → config` rules (which is also exactly
+//! the shape of the `coll_tuned` decision functions HAN replaces — except
+//! these rules were *derived for this machine*, not frozen in 2006).
+
+use crate::table::LookupTable;
+use han_colls::Coll;
+use han_core::{ConfigSource, HanConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One range rule: messages of at most `upto` bytes use `cfg`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Rule {
+    pub upto: u64,
+    pub cfg: HanConfig,
+}
+
+/// A distilled per-collective rule list (ascending `upto`; the last rule
+/// is open-ended).
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct DecisionTree {
+    rules: HashMap<String, Vec<Rule>>,
+    /// Sample count before compression (for reporting).
+    pub samples: usize,
+}
+
+impl DecisionTree {
+    /// Distill a lookup table: walk the sampled sizes in order and merge
+    /// runs with identical tuned configurations. The rule boundary between
+    /// two runs is the geometric midpoint of the neighbouring samples
+    /// (log-space nearest-sample semantics, matching
+    /// [`LookupTable::nearest`]).
+    pub fn distill(table: &LookupTable) -> Self {
+        let mut rules: HashMap<String, Vec<Rule>> = HashMap::new();
+        let mut samples = 0;
+        for coll in [
+            Coll::Bcast,
+            Coll::Allreduce,
+            Coll::Reduce,
+            Coll::Gather,
+            Coll::Scatter,
+            Coll::Allgather,
+        ] {
+            let sizes = table.sampled_sizes(coll);
+            if sizes.is_empty() {
+                continue;
+            }
+            samples += sizes.len();
+            let mut out: Vec<Rule> = Vec::new();
+            let mut run_cfg: Option<HanConfig> = None;
+            let mut prev_size = 0u64;
+            for &m in &sizes {
+                let cfg = table.get(coll, m).expect("sampled").cfg;
+                match run_cfg {
+                    Some(c) if c == cfg => {}
+                    Some(c) => {
+                        // Close the previous run at the log-space midpoint.
+                        let bound = geo_mid(prev_size, m);
+                        out.push(Rule { upto: bound, cfg: c });
+                        run_cfg = Some(cfg);
+                    }
+                    None => run_cfg = Some(cfg),
+                }
+                prev_size = m;
+            }
+            if let Some(c) = run_cfg {
+                out.push(Rule {
+                    upto: u64::MAX,
+                    cfg: c,
+                });
+            }
+            rules.insert(coll.name().to_string(), out);
+        }
+        DecisionTree { rules, samples }
+    }
+
+    /// The rule list for a collective (empty if untuned).
+    pub fn rules(&self, coll: Coll) -> &[Rule] {
+        self.rules
+            .get(coll.name())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total number of rules across collectives.
+    pub fn rule_count(&self) -> usize {
+        self.rules.values().map(|v| v.len()).sum()
+    }
+
+    /// Sample-to-rule compression factor (≥ 1).
+    pub fn compression(&self) -> f64 {
+        if self.rule_count() == 0 {
+            1.0
+        } else {
+            self.samples as f64 / self.rule_count() as f64
+        }
+    }
+
+    /// Decide the configuration for `bytes`.
+    pub fn decide(&self, coll: Coll, bytes: u64) -> Option<HanConfig> {
+        let rules = self.rules(coll);
+        rules.iter().find(|r| bytes <= r.upto).map(|r| r.cfg)
+    }
+}
+
+/// Geometric midpoint of two sizes (log-space boundary).
+fn geo_mid(a: u64, b: u64) -> u64 {
+    ((a.max(1) as f64 * b.max(1) as f64).sqrt()).floor() as u64
+}
+
+impl ConfigSource for DecisionTree {
+    fn config(&self, coll: Coll, _nodes: usize, _ppn: usize, bytes: u64) -> HanConfig {
+        self.decide(coll, bytes).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use han_sim::Time;
+
+    fn table_with(picks: &[(u64, u64)]) -> LookupTable {
+        // (message size, tuned fs)
+        let mut t = LookupTable::new(4, 8);
+        for &(m, fs) in picks {
+            t.insert(Coll::Bcast, m, HanConfig::default().with_fs(fs), Time::from_us(1));
+        }
+        t
+    }
+
+    #[test]
+    fn merges_equal_runs() {
+        let t = table_with(&[
+            (1024, 1024),
+            (2048, 2048),
+            (4096, 4096),
+            (8192, 4096),
+            (16384, 4096),
+            (32768, 32768),
+        ]);
+        // fs=m for the first three (each distinct), then a run of 4096,
+        // then 32768: runs are [1024],[2048],[4096,4096,4096... wait:
+        // fs=4096 at m=4096 equals the run start. Expected runs:
+        // {1024},{2048},{4096 x3},{32768} = 4 rules... the first three
+        // configs differ pairwise, then 4096 repeats.
+        let d = DecisionTree::distill(&t);
+        let rules = d.rules(Coll::Bcast);
+        assert_eq!(rules.len(), 4, "{rules:?}");
+        assert_eq!(rules.last().unwrap().upto, u64::MAX);
+        assert!(d.compression() > 1.0);
+        assert_eq!(d.samples, 6);
+    }
+
+    #[test]
+    fn decisions_match_nearest_sample_semantics() {
+        let t = table_with(&[(1024, 512), (1 << 20, 65536)]);
+        let d = DecisionTree::distill(&t);
+        // Near the small sample: small config; near the big one: big.
+        assert_eq!(d.decide(Coll::Bcast, 4).unwrap().fs, 512);
+        assert_eq!(d.decide(Coll::Bcast, 2048).unwrap().fs, 512);
+        assert_eq!(d.decide(Coll::Bcast, 900_000).unwrap().fs, 65536);
+        assert_eq!(d.decide(Coll::Bcast, 1 << 30).unwrap().fs, 65536);
+        // Boundary: geometric midpoint of 1K and 1M is 32K.
+        assert_eq!(d.decide(Coll::Bcast, 32 * 1024).unwrap().fs, 512);
+        assert_eq!(d.decide(Coll::Bcast, 33 * 1024).unwrap().fs, 65536);
+    }
+
+    #[test]
+    fn agrees_with_table_at_sampled_sizes() {
+        let t = table_with(&[
+            (64, 64),
+            (4096, 2048),
+            (1 << 20, 131072),
+            (16 << 20, 1 << 20),
+        ]);
+        let d = DecisionTree::distill(&t);
+        for &(m, fs) in &[(64u64, 64u64), (4096, 2048), (1 << 20, 131072), (16 << 20, 1 << 20)] {
+            assert_eq!(d.decide(Coll::Bcast, m).unwrap().fs, fs, "at {m}");
+        }
+    }
+
+    #[test]
+    fn untuned_collective_falls_back() {
+        let t = table_with(&[(1024, 512)]);
+        let d = DecisionTree::distill(&t);
+        assert!(d.decide(Coll::Allreduce, 1024).is_none());
+        use han_core::ConfigSource;
+        assert_eq!(d.config(Coll::Allreduce, 4, 8, 1024), HanConfig::default());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = table_with(&[(1024, 512), (1 << 20, 65536)]);
+        let d = DecisionTree::distill(&t);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rule_count(), d.rule_count());
+        assert_eq!(
+            back.decide(Coll::Bcast, 123).map(|c| c.fs),
+            d.decide(Coll::Bcast, 123).map(|c| c.fs)
+        );
+    }
+}

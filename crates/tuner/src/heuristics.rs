@@ -1,0 +1,85 @@
+//! Search-space pruning heuristics (paper section III-C).
+//!
+//! "For instance, we only use the SOLO submodule when the segment size is
+//! larger than 512KB since experimental results suggest SM has better
+//! performance than SOLO for small messages. … we know that the chain
+//! algorithm in ADAPT can only perform well when there are enough segments
+//! to kick-start the pipelining, we can therefore prevent the chain
+//! algorithm from being tested when there are less than a certain number
+//! of segments depending on the number of processes involved."
+//!
+//! Heuristics trade search time for accuracy (Figs. 8/9 quantify both
+//! directions), so they are strictly opt-in.
+
+use han_colls::{InterAlg, IntraModule};
+use han_core::HanConfig;
+
+/// SOLO pays its window-setup cost only above this segment size.
+pub const SOLO_MIN_SEG: u64 = 512 * 1024;
+
+/// Admit a configuration for message size `m` on `nodes` nodes?
+pub fn admit(cfg: &HanConfig, m: u64, nodes: usize) -> bool {
+    admit_seg(cfg, nodes) && admit_chain(cfg, m, nodes)
+}
+
+/// Segment-size-only rules (usable before the message size is known).
+pub fn admit_seg(cfg: &HanConfig, _nodes: usize) -> bool {
+    match cfg.smod {
+        IntraModule::Solo => cfg.fs >= SOLO_MIN_SEG,
+        IntraModule::Sm => cfg.fs < SOLO_MIN_SEG,
+    }
+}
+
+/// The chain algorithm needs enough segments to fill its pipeline: the
+/// number of HAN segments must be at least the number of pipeline hops
+/// (nodes - 1).
+pub fn admit_chain(cfg: &HanConfig, m: u64, nodes: usize) -> bool {
+    if cfg.ibalg != InterAlg::Chain && cfg.iralg != InterAlg::Chain {
+        return true;
+    }
+    cfg.segments(m) as usize >= nodes.saturating_sub(1).max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use han_colls::InterModule;
+
+    fn cfg(fs: u64, smod: IntraModule, alg: InterAlg) -> HanConfig {
+        HanConfig {
+            fs,
+            imod: InterModule::Adapt,
+            smod,
+            ibalg: alg,
+            iralg: alg,
+            ibs: None,
+            irs: None,
+        }
+    }
+
+    #[test]
+    fn solo_only_for_large_segments() {
+        assert!(!admit_seg(&cfg(64 * 1024, IntraModule::Solo, InterAlg::Binomial), 8));
+        assert!(admit_seg(&cfg(512 * 1024, IntraModule::Solo, InterAlg::Binomial), 8));
+        assert!(admit_seg(&cfg(64 * 1024, IntraModule::Sm, InterAlg::Binomial), 8));
+        assert!(!admit_seg(&cfg(1 << 20, IntraModule::Sm, InterAlg::Binomial), 8));
+    }
+
+    #[test]
+    fn chain_needs_segments() {
+        // 8 nodes: chain needs >= 7 segments.
+        let c = cfg(128 * 1024, IntraModule::Sm, InterAlg::Chain);
+        assert!(!admit_chain(&c, 256 * 1024, 8)); // 2 segments
+        assert!(admit_chain(&c, 1 << 20, 8)); // 8 segments
+        // Non-chain algorithms are never pruned by this rule.
+        let b = cfg(128 * 1024, IntraModule::Sm, InterAlg::Binomial);
+        assert!(admit_chain(&b, 4, 64));
+    }
+
+    #[test]
+    fn combined_rule() {
+        let c = cfg(1 << 20, IntraModule::Solo, InterAlg::Chain);
+        assert!(admit(&c, 16 << 20, 8)); // 16 segments >= 7, solo >= 512K
+        assert!(!admit(&c, 2 << 20, 8)); // only 2 segments
+    }
+}

@@ -1,0 +1,44 @@
+//! # han-tuner — task-based autotuning (paper sections III-A2/B2/C)
+//!
+//! The paper's second contribution: instead of benchmarking whole
+//! collectives for every message size (exhaustive search, cost
+//! `M×S×N×P×A`) or trusting analytic cost models (Hockney/LogP/LogGP/
+//! PLogP — inaccurate on hierarchical hardware), HAN benchmarks *tasks*
+//! (cost `T×S×N×P×A`, with `T` a small constant — 3 task types for Bcast,
+//! 8 for Allreduce) and combines the measured task costs with the simple
+//! per-collective cost models of equations (1)–(4).
+//!
+//! * [`space`] — the autotuning inputs (Table I) and configuration
+//!   enumeration (Table II outputs).
+//! * [`taskbench`] — task benchmarking, including the delayed-start
+//!   technique ("we need to delay the participation of each process by
+//!   the duration of the ib(0) step") and stabilized-cost iteration
+//!   (Fig. 3).
+//! * [`model`] — the cost model: eq. (3) for Bcast, eq. (4) for
+//!   Allreduce, generalized to short pipelines.
+//! * [`analytic`] — conventional cost models (Hockney, LogP, LogGP,
+//!   PLogP, perfect-overlap hierarchical) for the accuracy comparison the
+//!   paper's introduction makes.
+//! * [`search`] — the four tuning strategies of Figs. 8/9: exhaustive,
+//!   exhaustive+heuristics, task-based (HAN), task-based+heuristics.
+//! * [`heuristics`] — the pruning rules of section III-C (SOLO only above
+//!   512 KB segments; chain only with enough segments).
+//! * [`table`] — the lookup table (tuning output) and the decision
+//!   function serving arbitrary inputs, implementing
+//!   [`han_core::ConfigSource`].
+
+pub mod analytic;
+pub mod calibrate;
+pub mod decision;
+pub mod heuristics;
+pub mod model;
+pub mod search;
+pub mod space;
+pub mod table;
+pub mod taskbench;
+
+pub use decision::DecisionTree;
+pub use search::{tune, Strategy, TuneResult};
+pub use space::SearchSpace;
+pub use table::LookupTable;
+pub use taskbench::TaskBench;

@@ -1,0 +1,304 @@
+//! The four tuning strategies compared in Figs. 8 and 9.
+//!
+//! * **Exhaustive** — benchmark every configuration of the whole
+//!   collective at every message size: search space `M×S×A` (per machine
+//!   shape), guaranteed optimal, extremely expensive.
+//! * **Exhaustive + heuristics** — the same with the section III-C
+//!   pruning rules.
+//! * **Task-based** (HAN) — benchmark tasks once per configuration
+//!   (`T×S×A`), then evaluate the eq. (3)/(4) cost model per message
+//!   size. Task costs are reused across message sizes *and* collectives.
+//! * **Task-based + heuristics** — both reductions combined.
+//!
+//! Tuning cost is measured in *virtual benchmark time* (what the cluster
+//! would spend) plus the run count; both are reported per strategy.
+
+use crate::model::predict;
+use crate::space::SearchSpace;
+use crate::table::LookupTable;
+use crate::taskbench::{TaskBench, BENCH_ITERS};
+use han_colls::stack::{time_coll_on, Coll};
+use han_colls::MpiStack;
+use han_core::{Han, HanConfig};
+use han_machine::{Machine, MachinePreset};
+use han_sim::Time;
+
+/// Tuning strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    Exhaustive,
+    ExhaustiveHeuristic,
+    TaskBased,
+    TaskBasedHeuristic,
+}
+
+impl Strategy {
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Exhaustive,
+        Strategy::ExhaustiveHeuristic,
+        Strategy::TaskBased,
+        Strategy::TaskBasedHeuristic,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Exhaustive => "exhaustive",
+            Strategy::ExhaustiveHeuristic => "exhaustive+heuristics",
+            Strategy::TaskBased => "task-based",
+            Strategy::TaskBasedHeuristic => "task-based+heuristics",
+        }
+    }
+
+    pub fn heuristic(&self) -> bool {
+        matches!(
+            self,
+            Strategy::ExhaustiveHeuristic | Strategy::TaskBasedHeuristic
+        )
+    }
+
+    pub fn task_based(&self) -> bool {
+        matches!(self, Strategy::TaskBased | Strategy::TaskBasedHeuristic)
+    }
+}
+
+/// The outcome of one tuning run.
+#[derive(Debug)]
+pub struct TuneResult {
+    pub strategy: Strategy,
+    pub table: LookupTable,
+    /// Total virtual benchmark time (the Fig. 8 metric).
+    pub tuning_time: Time,
+    /// Number of benchmark runs executed.
+    pub searches: u64,
+    /// For the exhaustive strategies: every measured `(coll, m, cfg, cost)`
+    /// sample, enabling best/median/average analysis (Fig. 9).
+    pub samples: Vec<(Coll, u64, HanConfig, Time)>,
+}
+
+/// Run autotuning over `space` for the given collectives.
+pub fn tune(
+    preset: &MachinePreset,
+    space: &SearchSpace,
+    colls: &[Coll],
+    strategy: Strategy,
+) -> TuneResult {
+    if strategy.task_based() {
+        tune_task_based(preset, space, colls, strategy)
+    } else {
+        tune_exhaustive(preset, space, colls, strategy)
+    }
+}
+
+fn tune_exhaustive(
+    preset: &MachinePreset,
+    space: &SearchSpace,
+    colls: &[Coll],
+    strategy: Strategy,
+) -> TuneResult {
+    let nodes = preset.topology.nodes();
+    let mut table = LookupTable::new(nodes, preset.topology.ppn());
+    let mut samples = Vec::new();
+    let mut tuning_time = Time::ZERO;
+    let mut searches = 0u64;
+
+    // Parallelize across message sizes; each worker owns a machine.
+    let jobs: Vec<(Coll, u64)> = colls
+        .iter()
+        .flat_map(|&c| space.msg_sizes.iter().map(move |&m| (c, m)))
+        .collect();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    let chunks: Vec<Vec<(Coll, u64)>> = (0..workers)
+        .map(|w| {
+            jobs.iter()
+                .enumerate()
+                .filter(|(i, _)| i % workers == w)
+                .map(|(_, j)| *j)
+                .collect()
+        })
+        .collect();
+
+    let results: Vec<Vec<(Coll, u64, HanConfig, Time)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    let mut machine = Machine::from_preset(preset);
+                    let mut out = Vec::new();
+                    for (coll, m) in chunk {
+                        for cfg in space.configs(m, nodes, strategy.heuristic()) {
+                            let han = Han::with_config(cfg);
+                            let t = time_coll_on(&han, &mut machine, preset, coll, m, 0);
+                            out.push((coll, m, cfg, t));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for r in results.into_iter().flatten() {
+        tuning_time += r.3 * BENCH_ITERS;
+        searches += 1;
+        samples.push(r);
+    }
+
+    for &coll in colls {
+        for &m in &space.msg_sizes {
+            if let Some((_, _, cfg, cost)) = samples
+                .iter()
+                .filter(|(c, mm, _, _)| *c == coll && *mm == m)
+                .min_by_key(|(_, _, _, t)| *t)
+            {
+                table.insert(coll, m, *cfg, *cost);
+            }
+        }
+    }
+
+    TuneResult {
+        strategy,
+        table,
+        tuning_time,
+        searches,
+        samples,
+    }
+}
+
+fn tune_task_based(
+    preset: &MachinePreset,
+    space: &SearchSpace,
+    colls: &[Coll],
+    strategy: Strategy,
+) -> TuneResult {
+    let nodes = preset.topology.nodes();
+    let mut table = LookupTable::new(nodes, preset.topology.ppn());
+    let mut tb = TaskBench::new(preset);
+    let mut samples = Vec::new();
+
+    for &coll in colls {
+        for &m in &space.msg_sizes {
+            let mut best: Option<(HanConfig, Time)> = None;
+            for cfg in space.configs(m, nodes, strategy.heuristic()) {
+                let t = predict(&mut tb, &cfg, coll, m);
+                samples.push((coll, m, cfg, t));
+                if best.map(|(_, bt)| t < bt).unwrap_or(true) {
+                    best = Some((cfg, t));
+                }
+            }
+            if let Some((cfg, cost)) = best {
+                table.insert(coll, m, cfg, cost);
+            }
+        }
+    }
+
+    TuneResult {
+        strategy,
+        table,
+        tuning_time: tb.spent,
+        searches: tb.runs,
+        samples,
+    }
+}
+
+/// Measure the *achieved* collective latency of a tuned table: run the
+/// collective with the configuration the table selects (the red/green
+/// bars of Fig. 9).
+pub fn achieved_latency(
+    preset: &MachinePreset,
+    table: &LookupTable,
+    coll: Coll,
+    m: u64,
+) -> Time {
+    let cfg = table
+        .nearest(coll, m)
+        .map(|e| e.cfg)
+        .unwrap_or_default();
+    let han = Han::with_config(cfg);
+    let mut machine = Machine::from_preset(preset);
+    let _ = han.name();
+    time_coll_on(&han, &mut machine, preset, coll, m, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::pow2_range;
+    use han_machine::mini;
+
+    fn tiny_space() -> SearchSpace {
+        SearchSpace {
+            msg_sizes: pow2_range(4 * 1024, 16 << 20),
+            seg_sizes: pow2_range(64 * 1024, 512 * 1024),
+            inter: vec![
+                (han_colls::InterModule::Adapt, han_colls::InterAlg::Binomial),
+                (han_colls::InterModule::Adapt, han_colls::InterAlg::Chain),
+            ],
+            intra: vec![han_colls::IntraModule::Sm],
+        }
+    }
+
+    #[test]
+    fn task_based_is_much_cheaper_than_exhaustive() {
+        let preset = mini(4, 4);
+        let space = tiny_space();
+        let ex = tune(&preset, &space, &[Coll::Bcast], Strategy::Exhaustive);
+        let tk = tune(&preset, &space, &[Coll::Bcast], Strategy::TaskBased);
+        assert!(
+            tk.tuning_time < ex.tuning_time,
+            "task-based {} must beat exhaustive {}",
+            tk.tuning_time,
+            ex.tuning_time
+        );
+        assert!(tk.searches < ex.searches);
+        // Both produce a full table.
+        assert_eq!(
+            tk.table.sampled_sizes(Coll::Bcast).len(),
+            space.msg_sizes.len()
+        );
+        assert_eq!(
+            ex.table.sampled_sizes(Coll::Bcast).len(),
+            space.msg_sizes.len()
+        );
+    }
+
+    #[test]
+    fn task_based_achieves_near_optimal_latency() {
+        let preset = mini(4, 4);
+        let space = tiny_space();
+        let ex = tune(&preset, &space, &[Coll::Bcast], Strategy::Exhaustive);
+        let tk = tune(&preset, &space, &[Coll::Bcast], Strategy::TaskBased);
+        for &m in &space.msg_sizes {
+            let best = ex.table.get(Coll::Bcast, m).unwrap();
+            let achieved = achieved_latency(&preset, &tk.table, Coll::Bcast, m);
+            let optimal = achieved_latency(&preset, &ex.table, Coll::Bcast, m);
+            assert_eq!(Time::from_ps(best.cost_ps), optimal, "exhaustive is measured");
+            assert!(
+                achieved.as_ps() as f64 <= optimal.as_ps() as f64 * 1.25,
+                "m={m}: task-based pick {achieved} vs optimal {optimal}"
+            );
+        }
+    }
+
+    #[test]
+    fn heuristics_reduce_searches() {
+        let preset = mini(4, 4);
+        let mut space = tiny_space();
+        space.intra = vec![han_colls::IntraModule::Sm, han_colls::IntraModule::Solo];
+        let plain = tune(&preset, &space, &[Coll::Bcast], Strategy::Exhaustive);
+        let heur = tune(&preset, &space, &[Coll::Bcast], Strategy::ExhaustiveHeuristic);
+        assert!(heur.searches < plain.searches);
+        assert!(heur.tuning_time < plain.tuning_time);
+    }
+
+    #[test]
+    fn strategy_metadata() {
+        assert!(Strategy::TaskBasedHeuristic.heuristic());
+        assert!(Strategy::TaskBasedHeuristic.task_based());
+        assert!(!Strategy::Exhaustive.heuristic());
+        assert_eq!(Strategy::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,191 @@
+//! The autotuning lookup table and decision function.
+//!
+//! Step 1 of autotuning (section III-C) produces, for each sampled input
+//! `(n, p, m, t)`, the estimated-best configuration — "stores the
+//! estimated best configuration for each input to a lookup table in a
+//! file". Step 2 serves arbitrary inputs from the table; this
+//! implementation uses nearest-sample-in-log-space selection, the simplest
+//! of the schemes the paper cites (quadtree encoding and decision trees
+//! are refinements of this step, which the paper explicitly does not
+//! focus on).
+
+use han_colls::Coll;
+use han_core::{ConfigSource, HanConfig};
+use han_sim::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// One tuned entry: inputs (t, m) → output configuration (+ the cost the
+/// tuner attributed to it, for reporting).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Entry {
+    pub coll: String,
+    pub m: u64,
+    pub cfg: HanConfig,
+    pub cost_ps: u64,
+}
+
+/// The tuning output for one machine shape `(n, p)`.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct LookupTable {
+    pub nodes: usize,
+    pub ppn: usize,
+    pub entries: Vec<Entry>,
+}
+
+impl LookupTable {
+    pub fn new(nodes: usize, ppn: usize) -> Self {
+        LookupTable {
+            nodes,
+            ppn,
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn insert(&mut self, coll: Coll, m: u64, cfg: HanConfig, cost: Time) {
+        self.entries.push(Entry {
+            coll: coll.name().to_string(),
+            m,
+            cfg,
+            cost_ps: cost.as_ps(),
+        });
+    }
+
+    /// Exact-sample lookup.
+    pub fn get(&self, coll: Coll, m: u64) -> Option<&Entry> {
+        self.entries
+            .iter()
+            .find(|e| e.coll == coll.name() && e.m == m)
+    }
+
+    /// Decision function: the entry whose sampled message size is nearest
+    /// to `m` in log space (ties prefer the smaller sample).
+    pub fn nearest(&self, coll: Coll, m: u64) -> Option<&Entry> {
+        let lm = (m.max(1) as f64).log2();
+        self.entries
+            .iter()
+            .filter(|e| e.coll == coll.name())
+            .min_by(|a, b| {
+                let da = ((a.m.max(1) as f64).log2() - lm).abs();
+                let db = ((b.m.max(1) as f64).log2() - lm).abs();
+                da.partial_cmp(&db)
+                    .unwrap()
+                    .then_with(|| a.m.cmp(&b.m))
+            })
+    }
+
+    /// All sampled message sizes for a collective, ascending.
+    pub fn sampled_sizes(&self, coll: Coll) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|e| e.coll == coll.name())
+            .map(|e| e.m)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Tuned cost per sampled size (for reporting/validation).
+    pub fn costs(&self, coll: Coll) -> HashMap<u64, Time> {
+        self.entries
+            .iter()
+            .filter(|e| e.coll == coll.name())
+            .map(|e| (e.m, Time::from_ps(e.cost_ps)))
+            .collect()
+    }
+
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, serde_json::to_string_pretty(self).expect("serialize"))
+    }
+
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let s = std::fs::read_to_string(path)?;
+        serde_json::from_str(&s).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl ConfigSource for LookupTable {
+    fn config(&self, coll: Coll, _nodes: usize, _ppn: usize, bytes: u64) -> HanConfig {
+        self.nearest(coll, bytes)
+            .map(|e| e.cfg)
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> LookupTable {
+        let mut t = LookupTable::new(4, 8);
+        t.insert(
+            Coll::Bcast,
+            1024,
+            HanConfig::default().with_fs(1024),
+            Time::from_us(10),
+        );
+        t.insert(
+            Coll::Bcast,
+            1 << 20,
+            HanConfig::default().with_fs(128 * 1024),
+            Time::from_us(500),
+        );
+        t.insert(
+            Coll::Allreduce,
+            1 << 20,
+            HanConfig::default().with_fs(512 * 1024),
+            Time::from_ms(1),
+        );
+        t
+    }
+
+    #[test]
+    fn exact_and_nearest_lookup() {
+        let t = table();
+        assert_eq!(t.get(Coll::Bcast, 1024).unwrap().cfg.fs, 1024);
+        assert!(t.get(Coll::Bcast, 2048).is_none());
+        // 8 KB is nearer (log-space) to 1 KB than to 1 MB.
+        assert_eq!(t.nearest(Coll::Bcast, 8 * 1024).unwrap().m, 1024);
+        // 512 KB is nearer to 1 MB.
+        assert_eq!(t.nearest(Coll::Bcast, 512 * 1024).unwrap().m, 1 << 20);
+        // Collectives do not bleed into each other.
+        assert_eq!(t.nearest(Coll::Allreduce, 4).unwrap().m, 1 << 20);
+    }
+
+    #[test]
+    fn config_source_serves_decisions() {
+        let t = table();
+        let cfg = t.config(Coll::Bcast, 4, 8, 2 << 20);
+        assert_eq!(cfg.fs, 128 * 1024);
+        // Unknown collective: falls back to the default config.
+        let cfg = t.config(Coll::Gather, 4, 8, 64);
+        assert_eq!(cfg, HanConfig::default());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let t = table();
+        let dir = std::env::temp_dir().join("han_tuner_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.json");
+        t.save(&path).unwrap();
+        let back = LookupTable::load(&path).unwrap();
+        assert_eq!(back.entries.len(), 3);
+        assert_eq!(back.nodes, 4);
+        assert_eq!(
+            back.get(Coll::Bcast, 1024).unwrap().cfg,
+            HanConfig::default().with_fs(1024)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sampled_sizes_sorted() {
+        let t = table();
+        assert_eq!(t.sampled_sizes(Coll::Bcast), vec![1024, 1 << 20]);
+        assert_eq!(t.costs(Coll::Bcast).len(), 2);
+    }
+}

@@ -1,0 +1,72 @@
+//! ASP: all-pairs shortest paths via parallel Floyd–Warshall — the paper's
+//! first application study (Table III).
+//!
+//! Runs the broadcast-dominated ASP kernel under four MPI stacks on a
+//! simulated cluster, verifies the distances against a sequential solver
+//! at small scale, and reports the communication-ratio breakdown.
+//!
+//! ```text
+//! cargo run --release --example asp_shortest_paths
+//! ```
+
+use han::apps::asp::{asp_verify, floyd_warshall, run_asp, AspConfig};
+use han::prelude::*;
+use han::sim::SimRng;
+
+fn main() {
+    // --- correctness: the parallel pipeline computes real shortest paths.
+    let preset = mini(2, 2);
+    let n = 16;
+    let mut rng = SimRng::seeded(2020);
+    let mut w = vec![i32::MAX; n * n];
+    for i in 0..n {
+        w[i * n + i] = 0;
+        for j in 0..n {
+            if i != j && rng.u64(100) < 60 {
+                w[i * n + j] = 1 + rng.u64(50) as i32;
+            }
+        }
+    }
+    let han = Han::with_config(HanConfig::default().with_fs(32));
+    let parallel = asp_verify(&han, &preset, n, &w);
+    let sequential = floyd_warshall(n, &w);
+    assert_eq!(parallel, sequential, "parallel ASP must match Floyd-Warshall");
+    println!("correctness: parallel ASP == sequential Floyd-Warshall on {n} vertices\n");
+
+    // --- performance: comm/compute breakdown per MPI stack.
+    let preset = mini(8, 8);
+    let cfg = AspConfig {
+        vertices: 8192,
+        flops: 1.5e9,
+        iterations: Some(64),
+    };
+    println!(
+        "ASP on {} procs, {} vertices, first {} iterations:",
+        preset.topology.world_size(),
+        cfg.vertices,
+        cfg.iterations.unwrap()
+    );
+    println!(
+        "{:>20}  {:>10}  {:>10}  {:>8}  {:>8}",
+        "stack", "total", "comm", "comm %", "speedup"
+    );
+    let han = Han::with_config(HanConfig::default().with_fs(16 * 1024));
+    let stacks: Vec<(&str, &dyn MpiStack)> = vec![
+        ("HAN", &han),
+        ("default Open MPI", &TunedOpenMpi),
+    ];
+    let mut base_total = None;
+    for (name, stack) in stacks {
+        let rep = run_asp(stack, &preset, &cfg);
+        let base = *base_total.get_or_insert(rep.total);
+        println!(
+            "{:>20}  {:>10}  {:>10}  {:>7.1}%  {:>7.2}x",
+            name,
+            format!("{}", rep.total),
+            format!("{}", rep.comm),
+            100.0 * rep.comm_ratio(),
+            rep.total.as_ps() as f64 / base.as_ps() as f64,
+        );
+    }
+    println!("\n(HAN's faster broadcast shrinks the communication share, as in Table III)");
+}

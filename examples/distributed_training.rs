@@ -1,0 +1,55 @@
+//! Horovod-style synchronous data-parallel training — the paper's second
+//! application study (Fig. 15).
+//!
+//! Sweeps the process count and reports training throughput (images/s)
+//! under HAN and default Open MPI, showing the allreduce-bound scaling gap
+//! widen with scale.
+//!
+//! ```text
+//! cargo run --release --example distributed_training
+//! ```
+
+use han::apps::horovod::{run_horovod, HorovodConfig};
+use han::prelude::*;
+use han::tuner::{tune, SearchSpace, Strategy};
+use std::sync::Arc;
+
+fn main() {
+    let hv = HorovodConfig {
+        grad_bytes: 64 << 20,
+        fusion_bytes: 32 << 20,
+        time_per_image: Time::from_ms(40),
+        batch_per_rank: 4,
+    };
+    println!("gradient {}B, fusion {}B, {} images/rank/step\n",
+        hv.grad_bytes, hv.fusion_bytes, hv.batch_per_rank);
+    println!(
+        "{:>7}  {:>12}  {:>12}  {:>9}",
+        "procs", "HAN img/s", "tuned img/s", "HAN gain"
+    );
+
+    for nodes in [1usize, 2, 4, 8] {
+        let preset = mini(nodes, 8);
+        // Autotune HAN's allreduce for this scale.
+        let mut space = SearchSpace::standard();
+        space.msg_sizes.retain(|&m| m >= 1 << 20 && m <= hv.fusion_bytes);
+        let tuned = tune(
+            &preset,
+            &space,
+            &[Coll::Allreduce],
+            Strategy::TaskBasedHeuristic,
+        );
+        let han = Han::tuned(Arc::new(tuned.table));
+
+        let h = run_horovod(&han, &preset, &hv);
+        let t = run_horovod(&TunedOpenMpi, &preset, &hv);
+        println!(
+            "{:>7}  {:>12.1}  {:>12.1}  {:>8.1}%",
+            h.procs,
+            h.images_per_sec,
+            t.images_per_sec,
+            100.0 * (h.images_per_sec / t.images_per_sec - 1.0)
+        );
+    }
+    println!("\n(the gap widens with scale, as in Fig. 15)");
+}

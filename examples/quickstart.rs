@@ -1,0 +1,62 @@
+//! Quickstart: build a simulated cluster, run HAN vs default Open MPI, and
+//! autotune HAN's configuration.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use han::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // A small simulated cluster: 4 nodes x 8 ranks (the `mini` preset
+    // keeps every qualitative behaviour of the paper's testbeds).
+    let preset = mini(4, 8);
+    println!(
+        "machine: {} nodes x {} ranks = {} processes\n",
+        preset.topology.nodes(),
+        preset.topology.ppn(),
+        preset.topology.world_size()
+    );
+
+    // 1. Compare a fixed HAN configuration against default Open MPI.
+    let cfg = HanConfig::default().with_fs(128 * 1024);
+    println!("HAN configuration: {cfg}\n");
+    println!("{:>8}  {:>12}  {:>12}  {:>7}", "size", "HAN", "tuned OMPI", "speedup");
+    for bytes in [4 * 1024u64, 64 * 1024, 1 << 20, 16 << 20] {
+        let t_han = time_coll(&Han::with_config(cfg), &preset, Coll::Bcast, bytes, 0);
+        let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, bytes, 0);
+        println!(
+            "{:>8}  {:>12}  {:>12}  {:>6.2}x",
+            bytes,
+            t_han.to_string(),
+            t_tuned.to_string(),
+            t_tuned.as_ps() as f64 / t_han.as_ps() as f64
+        );
+    }
+
+    // 2. Autotune: benchmark tasks once, pick per-size configurations.
+    println!("\nautotuning (task-based + heuristics)...");
+    let mut space = SearchSpace::standard();
+    space.msg_sizes.retain(|&m| (1024..=16 << 20).contains(&m));
+    let result = tune(
+        &preset,
+        &space,
+        &[Coll::Bcast],
+        Strategy::TaskBasedHeuristic,
+    );
+    println!(
+        "tuned {} message sizes with {} benchmark runs ({} virtual benchmark time)",
+        result.table.sampled_sizes(Coll::Bcast).len(),
+        result.searches,
+        result.tuning_time
+    );
+
+    // 3. Run HAN with the tuned decision table.
+    let han = Han::tuned(Arc::new(result.table));
+    println!("\n{:>8}  {:>12}  (autotuned HAN)", "size", "latency");
+    for bytes in [4 * 1024u64, 1 << 20, 16 << 20] {
+        let t = time_coll(&han, &preset, Coll::Bcast, bytes, 0);
+        println!("{:>8}  {:>12}", bytes, t.to_string());
+    }
+}
