@@ -115,7 +115,10 @@ mod tests {
         let cfg = small_cfg();
         let t2 = run_horovod(&TunedOpenMpi, &mini(2, 4), &cfg);
         let t4 = run_horovod(&TunedOpenMpi, &mini(4, 4), &cfg);
-        assert!(t4.images_per_sec > t2.images_per_sec, "more procs, more images/s");
+        assert!(
+            t4.images_per_sec > t2.images_per_sec,
+            "more procs, more images/s"
+        );
         // But not superlinear: allreduce cost grows with scale.
         assert!(t4.images_per_sec < t2.images_per_sec * 2.2);
     }

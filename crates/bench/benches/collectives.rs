@@ -17,32 +17,25 @@ fn bench_bcast_stacks(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_fig12_bcast");
     group.sample_size(20);
     let han = Han::with_config(HanConfig::default().with_fs(128 * 1024));
-    let stacks: Vec<(&str, &dyn MpiStack)> = vec![
-        ("han", &han),
-        ("tuned", &TunedOpenMpi),
-    ];
+    let stacks: Vec<(&str, &dyn MpiStack)> = vec![("han", &han), ("tuned", &TunedOpenMpi)];
     let cray = VendorMpi::cray();
     let mut stacks = stacks;
     stacks.push(("cray", &cray));
     for (name, stack) in stacks {
         for bytes in [64 * 1024u64, 4 << 20] {
             let mut machine = Machine::from_preset(&preset);
-            group.bench_with_input(
-                BenchmarkId::new(name, bytes),
-                &bytes,
-                |b, &bytes| {
-                    b.iter(|| {
-                        black_box(time_coll_on(
-                            stack,
-                            &mut machine,
-                            &preset,
-                            Coll::Bcast,
-                            bytes,
-                            0,
-                        ))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, bytes), &bytes, |b, &bytes| {
+                b.iter(|| {
+                    black_box(time_coll_on(
+                        stack,
+                        &mut machine,
+                        &preset,
+                        Coll::Bcast,
+                        bytes,
+                        0,
+                    ))
+                })
+            });
         }
     }
     group.finish();

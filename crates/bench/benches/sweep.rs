@@ -1,0 +1,173 @@
+//! The fast-path sweep engine benchmark: how much host wall-clock the
+//! timing-only executor and the cost cache save on a Fig. 8-style tuning
+//! sweep. Criterion group `sweep` covers the four interesting corners
+//! (execution Full vs TimingOnly, tuning cold vs warm cache); a summary
+//! with the headline speedups is written to `BENCH_sweep.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use han_colls::stack::{build_coll, Coll};
+use han_colls::MpiStack;
+use han_core::{Han, HanConfig};
+use han_machine::{mini, Machine};
+use han_mpi::{execute, ExecMode, ExecOpts};
+use han_tuner::{tune_with_cache, CostCache, SearchSpace, Strategy};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn sweep_space() -> SearchSpace {
+    let mut space = SearchSpace::standard();
+    space.msg_sizes = vec![64 * 1024, 512 * 1024, 4 << 20];
+    space.seg_sizes = vec![64 * 1024, 256 * 1024];
+    space
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let preset = mini(4, 4);
+    let space = sweep_space();
+    let colls = [Coll::Bcast, Coll::Allreduce];
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+
+    // Execution modes: one 4 MB bcast, payload-free vs full data movement.
+    let han = Han::with_config(HanConfig::default().with_fs(256 * 1024));
+    let prog = build_coll(&han, &preset, Coll::Bcast, 4 << 20, 0);
+    let p2p = han.flavor().p2p();
+    let mut machine = Machine::from_preset(&preset);
+    group.bench_function("exec_timing_only_4M", |b| {
+        let opts = ExecOpts::with_mode(p2p, ExecMode::TimingOnly);
+        b.iter(|| black_box(execute(&mut machine, &prog, &opts).makespan))
+    });
+    group.bench_function("exec_full_4M", |b| {
+        let opts = ExecOpts::with_mode(p2p, ExecMode::Full);
+        b.iter(|| black_box(execute(&mut machine, &prog, &opts).makespan))
+    });
+
+    // Tuning sweeps: no cache vs a warm shared cache.
+    group.bench_function("tune_exhaustive_cold", |b| {
+        b.iter(|| {
+            black_box(tune_with_cache(
+                &preset,
+                &space,
+                &colls,
+                Strategy::Exhaustive,
+                None,
+            ))
+        })
+    });
+    let warm = Arc::new(CostCache::new(&preset));
+    tune_with_cache(
+        &preset,
+        &space,
+        &colls,
+        Strategy::Exhaustive,
+        Some(warm.clone()),
+    );
+    group.bench_function("tune_exhaustive_warm", |b| {
+        b.iter(|| {
+            black_box(tune_with_cache(
+                &preset,
+                &space,
+                &colls,
+                Strategy::Exhaustive,
+                Some(warm.clone()),
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// Best-of-N wall-clock for one closure, in seconds.
+fn best_secs<T>(n: usize, mut f: impl FnMut() -> T) -> f64 {
+    (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Headline numbers, measured outside criterion so they can be written to
+/// `BENCH_sweep.json` with explicit cold/warm pairing.
+fn write_summary() {
+    let preset = mini(4, 4);
+    let space = sweep_space();
+    let colls = [Coll::Bcast, Coll::Allreduce];
+
+    let han = Han::with_config(HanConfig::default().with_fs(256 * 1024));
+    let prog = build_coll(&han, &preset, Coll::Bcast, 4 << 20, 0);
+    let p2p = han.flavor().p2p();
+    let mut machine = Machine::from_preset(&preset);
+    let full = best_secs(5, || {
+        execute(
+            &mut machine,
+            &prog,
+            &ExecOpts::with_mode(p2p, ExecMode::Full),
+        )
+        .makespan
+    });
+    let timing = best_secs(5, || {
+        execute(
+            &mut machine,
+            &prog,
+            &ExecOpts::with_mode(p2p, ExecMode::TimingOnly),
+        )
+        .makespan
+    });
+
+    let cold = best_secs(3, || {
+        tune_with_cache(&preset, &space, &colls, Strategy::Exhaustive, None)
+    });
+    let cache = Arc::new(CostCache::new(&preset));
+    tune_with_cache(
+        &preset,
+        &space,
+        &colls,
+        Strategy::Exhaustive,
+        Some(cache.clone()),
+    );
+    let warm = best_secs(3, || {
+        tune_with_cache(
+            &preset,
+            &space,
+            &colls,
+            Strategy::Exhaustive,
+            Some(cache.clone()),
+        )
+    });
+
+    let rows: Vec<(String, f64)> = vec![
+        ("exec_full_4M_s".into(), full),
+        ("exec_timing_only_4M_s".into(), timing),
+        ("exec_mode_speedup".into(), full / timing),
+        ("tune_exhaustive_cold_s".into(), cold),
+        ("tune_exhaustive_warm_s".into(), warm),
+        ("warm_cache_speedup".into(), cold / warm),
+    ];
+    // cargo runs benches with cwd = the package dir; anchor the report at
+    // the workspace root where the other results live.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    match serde_json::to_string_pretty(&rows) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(out, text) {
+                eprintln!("[sweep] could not write BENCH_sweep.json: {e}");
+            } else {
+                println!(
+                    "[sweep] exec speedup {:.2}x, warm-cache speedup {:.2}x -> BENCH_sweep.json",
+                    full / timing,
+                    cold / warm
+                );
+            }
+        }
+        Err(e) => eprintln!("[sweep] could not serialize summary: {e}"),
+    }
+}
+
+fn bench_sweep_and_summarize(c: &mut Criterion) {
+    bench_sweep(c);
+    write_summary();
+}
+
+criterion_group!(benches, bench_sweep_and_summarize);
+criterion_main!(benches);

@@ -50,7 +50,14 @@ fn bench_tuning_probes(c: &mut Criterion) {
     let mut tb = TaskBench::new(&preset);
     han_tuner::model::predict(&mut tb, &cfg, Coll::Bcast, 4 << 20);
     group.bench_function("model_predict_cached", |b| {
-        b.iter(|| black_box(han_tuner::model::predict(&mut tb, &cfg, Coll::Bcast, 8 << 20)))
+        b.iter(|| {
+            black_box(han_tuner::model::predict(
+                &mut tb,
+                &cfg,
+                Coll::Bcast,
+                8 << 20,
+            ))
+        })
     });
     group.finish();
 }

@@ -5,6 +5,7 @@
 //!        [--stack han|tuned|cray|intel|mvapich2] [--fs 524288]
 //!        [--smod sm|solo] [--imod libnbc|adapt] [--alg chain|binary|binomial]
 //!        [--machine shaheen2|stampede2|mini] [--trace out.json]
+//!        [--mode timing|full]
 //! ```
 //!
 //! Prints the virtual latency (and per-stack comparison when `--stack all`),
@@ -15,7 +16,7 @@ use han_colls::stack::{build_coll, Coll, MpiStack};
 use han_colls::{InterAlg, InterModule, IntraModule, TunedOpenMpi, VendorMpi};
 use han_core::{Han, HanConfig};
 use han_machine::{mini, shaheen2_ppn, stampede2_ppn, Machine, MachinePreset};
-use han_mpi::{trace_execution, ExecOpts};
+use han_mpi::{trace_execution, ExecMode, ExecOpts};
 
 fn parse_args() -> std::collections::HashMap<String, String> {
     let mut map = std::collections::HashMap::new();
@@ -98,6 +99,17 @@ fn main() {
         cfg.iralg = alg;
     }
 
+    // `timing` (default) skips all payload reads/copies; `full` moves real
+    // bytes through simulated memory. Virtual times are identical in both.
+    let mode = match get("mode", "timing").as_str() {
+        "full" => ExecMode::Full,
+        "timing" => ExecMode::TimingOnly,
+        other => {
+            eprintln!("unknown exec mode '{other}' (expected timing|full)");
+            std::process::exit(2);
+        }
+    };
+
     let which = get("stack", "all");
     let names: Vec<&str> = if which == "all" {
         vec!["han", "tuned", "cray", "intel", "mvapich2"]
@@ -119,7 +131,7 @@ fn main() {
         let stack = stack_by_name(name, cfg);
         let prog = build_coll(stack.as_ref(), &preset, coll, bytes, 0);
         let mut machine = Machine::from_preset(&preset);
-        let opts = ExecOpts::timing(stack.flavor().p2p());
+        let opts = ExecOpts::with_mode(stack.flavor().p2p(), mode);
         let (report, trace) = trace_execution(&mut machine, &prog, &opts);
         println!(
             "{:>18}: {:>12}  ({} ops, {} events)",

@@ -11,6 +11,12 @@
 //! 128×32 = 4096 ranks; Stampede2: 32×48 = 1536; tuning: 64×12 = 768).
 //! `--scale mini` shrinks every experiment for quick smoke runs.
 //!
+//! `--cache mem` (default) shares a [`han_tuner::CostCache`] across the
+//! strategies and collectives of one invocation; `--cache disk`
+//! additionally persists it under `results/cache/` so repeated
+//! invocations warm-start; `--cache off` disables memoization. Virtual
+//! times are identical in all three modes — only wall-clock changes.
+//!
 //! All timings are **virtual (simulated) seconds**; the goal is shape
 //! fidelity (who wins, by what factor, where the crossovers are), not the
 //! testbeds' absolute microseconds. See `EXPERIMENTS.md`.
@@ -23,7 +29,7 @@ use han_core::task::TaskSpec;
 use han_core::{Han, HanConfig};
 use han_machine::{shaheen2_ppn, stampede2_ppn, Flavor, Machine, MachinePreset};
 use han_sim::{Summary, Time};
-use han_tuner::{tune, LookupTable, SearchSpace, Strategy, TaskBench};
+use han_tuner::{tune, tune_with_cache, CostCache, LookupTable, SearchSpace, Strategy, TaskBench};
 use std::sync::Arc;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,11 +38,46 @@ enum Scale {
     Mini,
 }
 
+/// Where simulated task/collective costs are memoized (see `han_tuner::cache`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheMode {
+    /// No memoization (the pre-cache behaviour).
+    Off,
+    /// One shared in-memory cache per invocation.
+    Mem,
+    /// In-memory cache, loaded from / saved to `results/cache/`.
+    Disk,
+}
+
+const CACHE_DIR: &str = "results/cache";
+
 struct Cfg {
     scale: Scale,
+    cache: CacheMode,
 }
 
 impl Cfg {
+    fn cost_cache(&self, preset: &MachinePreset) -> Option<Arc<CostCache>> {
+        match self.cache {
+            CacheMode::Off => None,
+            CacheMode::Mem => Some(Arc::new(CostCache::new(preset))),
+            CacheMode::Disk => Some(Arc::new(CostCache::load_or_new(
+                std::path::Path::new(CACHE_DIR),
+                preset,
+            ))),
+        }
+    }
+
+    fn persist_cache(&self, cache: Option<&Arc<CostCache>>) {
+        if self.cache == CacheMode::Disk {
+            if let Some(c) = cache {
+                if let Err(e) = c.save_under(std::path::Path::new(CACHE_DIR)) {
+                    eprintln!("[repro] failed to persist cost cache: {e}");
+                }
+            }
+        }
+    }
+
     fn shaheen(&self) -> MachinePreset {
         match self.scale {
             Scale::Paper => shaheen2_ppn(128, 32), // 4096 procs (Figs. 10/13)
@@ -182,7 +223,11 @@ fn fig3(cfg: &Cfg) {
                 size_label(seg),
                 cells.join("  ")
             );
-            out.push((name.to_string(), seg, series.iter().map(|t| t.as_ps()).collect::<Vec<_>>()));
+            out.push((
+                name.to_string(),
+                seg,
+                series.iter().map(|t| t.as_ps()).collect::<Vec<_>>(),
+            ));
         }
     }
     println!("\n(columns are sbib(1) .. sbib(8); values stabilize after the first few)\n");
@@ -217,19 +262,20 @@ fn model_validation(cfg: &Cfg, coll: Coll, fig: &str) {
                 let han = Han::with_config(hc);
                 let act = time_coll_on(&han, &mut machine, &preset, coll, m, 0);
                 let err = 100.0 * (est.as_ps() as f64 - act.as_ps() as f64) / act.as_ps() as f64;
-                t.row(vec![
-                    size_label(fs),
-                    us(est),
-                    us(act),
-                    format!("{err:+.1}"),
-                ]);
+                t.row(vec![size_label(fs), us(est), us(act), format!("{err:+.1}")]);
                 if best_est.map(|(b, _)| est < b).unwrap_or(true) {
                     best_est = Some((est, hc));
                 }
                 if best_act.map(|(b, _)| act < b).unwrap_or(true) {
                     best_act = Some((act, hc));
                 }
-                out.push((name.to_string(), smod.to_string(), fs, est.as_ps(), act.as_ps()));
+                out.push((
+                    name.to_string(),
+                    smod.to_string(),
+                    fs,
+                    est.as_ps(),
+                    act.as_ps(),
+                ));
             }
             println!("### {name} + {smod}\n{}", t.render());
         }
@@ -288,7 +334,7 @@ fn fig6(_cfg: &Cfg) {
 }
 
 /// Fig. 8: total tuning time of the four strategies.
-fn fig8(cfg: &Cfg) -> [han_tuner::TuneResult; 4] {
+fn fig8(cfg: &Cfg) -> ([han_tuner::TuneResult; 4], Option<Arc<CostCache>>) {
     let preset = cfg.tuning();
     println!(
         "## Fig. 8 — total search time, Bcast+Allreduce, {} nodes x {} ppn\n",
@@ -301,19 +347,33 @@ fn fig8(cfg: &Cfg) -> [han_tuner::TuneResult; 4] {
         space.seg_sizes = sizes(16 * 1024, 512 * 1024);
     }
     let colls = [Coll::Bcast, Coll::Allreduce];
+    let cache = cfg.cost_cache(&preset);
+    let mut walls = Vec::new();
     let results: Vec<han_tuner::TuneResult> = Strategy::ALL
         .iter()
-        .map(|&s| tune(&preset, &space, &colls, s))
+        .map(|&s| {
+            let t0 = std::time::Instant::now();
+            let r = tune_with_cache(&preset, &space, &colls, s, cache.clone());
+            walls.push(t0.elapsed().as_secs_f64());
+            r
+        })
         .collect();
     let base = results[0].tuning_time.as_secs_f64();
-    let mut t = Table::new(&["strategy", "searches", "virtual time", "% of exhaustive"]);
+    let mut t = Table::new(&[
+        "strategy",
+        "searches",
+        "virtual time",
+        "% of exhaustive",
+        "wall (s)",
+    ]);
     let mut out = Vec::new();
-    for r in &results {
+    for (r, wall) in results.iter().zip(&walls) {
         t.row(vec![
             r.strategy.name().to_string(),
             r.searches.to_string(),
             format!("{:.2}s", r.tuning_time.as_secs_f64()),
             format!("{:.1}%", 100.0 * r.tuning_time.as_secs_f64() / base),
+            format!("{wall:.2}"),
         ]);
         out.push((
             r.strategy.name().to_string(),
@@ -322,16 +382,25 @@ fn fig8(cfg: &Cfg) -> [han_tuner::TuneResult; 4] {
         ));
     }
     println!("{}", t.render());
+    if let Some(c) = &cache {
+        let s = c.stats();
+        println!(
+            "cost cache: {} hits / {} misses ({} coll + {} task entries)\n",
+            s.hits, s.misses, s.coll_entries, s.task_entries
+        );
+    }
+    cfg.persist_cache(cache.as_ref());
     save_json("fig8", &out).ok();
-    results
+    let results = results
         .try_into()
-        .unwrap_or_else(|_| unreachable!("four strategies"))
+        .unwrap_or_else(|_| unreachable!("four strategies"));
+    (results, cache)
 }
 
 /// Fig. 9: achieved collective latency per tuning method, against the
 /// exhaustive best/median/average.
 fn fig9(cfg: &Cfg) {
-    let results = fig8(cfg);
+    let (results, cache) = fig8(cfg);
     let preset = cfg.tuning();
     println!("## Fig. 9 — achieved latency by tuning method (us)\n");
     let probe_sizes: Vec<u64> = results[0]
@@ -354,7 +423,13 @@ fn fig9(cfg: &Cfg) {
                     .map(|(_, _, _, t)| *t),
             );
             let achieved = |r: &han_tuner::TuneResult| {
-                han_tuner::search::achieved_latency(&preset, &r.table, coll, m)
+                han_tuner::search::achieved_latency_with_cache(
+                    &preset,
+                    &r.table,
+                    coll,
+                    m,
+                    cache.as_deref(),
+                )
             };
             t.row(vec![
                 size_label(m),
@@ -375,6 +450,7 @@ fn fig9(cfg: &Cfg) {
         }
         println!("### {}\n{}", coll.name(), t.render());
     }
+    cfg.persist_cache(cache.as_ref());
     save_json("fig9", &out).ok();
 }
 
@@ -427,7 +503,10 @@ fn imb_figure(
         .map(|r| {
             (
                 r.bytes,
-                r.results.iter().map(|(n, t)| (n.clone(), t.as_ps())).collect(),
+                r.results
+                    .iter()
+                    .map(|(n, t)| (n.clone(), t.as_ps()))
+                    .collect(),
             )
         })
         .collect();
@@ -441,7 +520,11 @@ fn fig10(cfg: &Cfg) {
         "fig10",
         &preset,
         Coll::Bcast,
-        vec![Box::new(han), Box::new(TunedOpenMpi), Box::new(VendorMpi::cray())],
+        vec![
+            Box::new(han),
+            Box::new(TunedOpenMpi),
+            Box::new(VendorMpi::cray()),
+        ],
         cfg.max_msg(),
     );
 }
@@ -491,7 +574,11 @@ fn fig13(cfg: &Cfg) {
         "fig13",
         &preset,
         Coll::Allreduce,
-        vec![Box::new(han), Box::new(TunedOpenMpi), Box::new(VendorMpi::cray())],
+        vec![
+            Box::new(han),
+            Box::new(TunedOpenMpi),
+            Box::new(VendorMpi::cray()),
+        ],
         cfg.max_msg(),
     );
 }
@@ -539,7 +626,12 @@ fn fig15(cfg: &Cfg) {
             format!("{:.1}", i.images_per_sec),
             format!("{:.1}", o.images_per_sec),
         ]);
-        out.push((h.procs, h.images_per_sec, i.images_per_sec, o.images_per_sec));
+        out.push((
+            h.procs,
+            h.images_per_sec,
+            i.images_per_sec,
+            o.images_per_sec,
+        ));
     }
     println!("{}", t.render());
     if let Some((p, h, i, o)) = out.last() {
@@ -572,7 +664,13 @@ fn table3(cfg: &Cfg) {
         ("MVAPICH2", Box::new(VendorMpi::mvapich2())),
         ("default Open MPI", Box::new(TunedOpenMpi)),
     ];
-    let mut t = Table::new(&["stack", "total (s)", "comm (s)", "comm %", "speedup vs self"]);
+    let mut t = Table::new(&[
+        "stack",
+        "total (s)",
+        "comm (s)",
+        "comm %",
+        "speedup vs self",
+    ]);
     let mut reports = Vec::new();
     for (name, stack) in &stacks {
         let rep = han_apps::run_asp(stack.as_ref(), &preset, &asp);
@@ -585,7 +683,10 @@ fn table3(cfg: &Cfg) {
             format!("{:.3}", rep.total.as_secs_f64()),
             format!("{:.3}", rep.comm.as_secs_f64()),
             format!("{:.2}%", 100.0 * rep.comm_ratio()),
-            format!("{:.2}x", rep.total.as_ps() as f64 / han_total.as_ps() as f64),
+            format!(
+                "{:.2}x",
+                rep.total.as_ps() as f64 / han_total.as_ps() as f64
+            ),
         ]);
     }
     println!("{}", t.render());
@@ -642,7 +743,10 @@ fn ablation_irib(cfg: &Cfg) {
         iralg: InterAlg::Binomial,
         ..HanConfig::default().with_fs(256 * 1024)
     };
-    for (name, hc) in [("same (binary/binary)", same), ("mixed (binomial ir, binary ib)", mixed)] {
+    for (name, hc) in [
+        ("same (binary/binary)", same),
+        ("mixed (binomial ir, binary ib)", mixed),
+    ] {
         let han = Han::with_config(hc);
         t.row(vec![
             name.to_string(),
@@ -665,9 +769,13 @@ fn ablation_models(cfg: &Cfg) {
     rows.push(("task-based (HAN)".into(), Vec::new()));
     for &m in &sizes(256 * 1024, cfg.validation_msg()) {
         for fs in [128 * 1024u64, 512 * 1024] {
-            let hc = HanConfig::default().with_fs(fs).with_intra(
-                if fs >= 512 * 1024 { IntraModule::Solo } else { IntraModule::Sm },
-            );
+            let hc = HanConfig::default()
+                .with_fs(fs)
+                .with_intra(if fs >= 512 * 1024 {
+                    IntraModule::Solo
+                } else {
+                    IntraModule::Sm
+                });
             let han = Han::with_config(hc);
             let actual = time_coll_on(&han, &mut machine, &preset, Coll::Bcast, m, 0);
             for (i, model) in han_tuner::analytic::AnalyticModel::ALL.iter().enumerate() {
@@ -682,7 +790,10 @@ fn ablation_models(cfg: &Cfg) {
     for (name, pairs) in &rows {
         t.row(vec![
             name.clone(),
-            format!("{:.1}%", 100.0 * han_tuner::analytic::mean_relative_error(pairs)),
+            format!(
+                "{:.1}%",
+                100.0 * han_tuner::analytic::mean_relative_error(pairs)
+            ),
         ]);
     }
     println!("{}", t.render());
@@ -691,18 +802,31 @@ fn ablation_models(cfg: &Cfg) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
+    let mut cache = CacheMode::Mem;
     let mut what = "all".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--scale" {
             if let Some(v) = it.next() {
-                scale = if v == "mini" { Scale::Mini } else { Scale::Paper };
+                scale = if v == "mini" {
+                    Scale::Mini
+                } else {
+                    Scale::Paper
+                };
+            }
+        } else if a == "--cache" {
+            if let Some(v) = it.next() {
+                cache = match v.as_str() {
+                    "off" => CacheMode::Off,
+                    "disk" => CacheMode::Disk,
+                    _ => CacheMode::Mem,
+                };
             }
         } else if !a.starts_with("--") {
             what = a.clone();
         }
     }
-    let cfg = Cfg { scale };
+    let cfg = Cfg { scale, cache };
 
     let start = std::time::Instant::now();
     match what.as_str() {
@@ -750,5 +874,8 @@ fn main() {
             std::process::exit(2);
         }
     }
-    eprintln!("[repro] {what} done in {:.1}s wall", start.elapsed().as_secs_f64());
+    eprintln!(
+        "[repro] {what} done in {:.1}s wall",
+        start.elapsed().as_secs_f64()
+    );
 }

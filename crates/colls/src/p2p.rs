@@ -149,15 +149,8 @@ pub fn tree_reduce(
                 }
                 let bytes = segs_c[s].len;
                 let slot = scratch.slice(0, bytes);
-                let (snd, rcv) = b.send_recv(
-                    wc,
-                    wv,
-                    bytes,
-                    Some(segs_c[s]),
-                    Some(slot),
-                    &sdeps,
-                    &rdeps,
-                );
+                let (snd, rcv) =
+                    b.send_recv(wc, wv, bytes, Some(segs_c[s]), Some(slot), &sdeps, &rdeps);
                 let red = b.op(
                     wv,
                     OpKind::Reduce {
@@ -260,10 +253,7 @@ pub fn rd_allreduce(
 
     // Active set: odd ranks of the folded pairs + ranks >= 2*rem.
     // newrank -> local rank.
-    let active: Vec<usize> = (0..rem)
-        .map(|i| 2 * i + 1)
-        .chain(2 * rem..n)
-        .collect();
+    let active: Vec<usize> = (0..rem).map(|i| 2 * i + 1).chain(2 * rem..n).collect();
     debug_assert_eq!(active.len(), p2);
 
     let mut dist = 1;
@@ -587,7 +577,11 @@ pub fn ring_allgather(
         return deps.clone();
     }
     for buf in bufs {
-        assert_eq!(buf.len, block * n as u64, "allgather buffer must be n*block");
+        assert_eq!(
+            buf.len,
+            block * n as u64,
+            "allgather buffer must be n*block"
+        );
     }
     let mut cur: Vec<Vec<han_mpi::OpId>> = (0..n).map(|l| deps.get(l).to_vec()).collect();
     for step in 0..n - 1 {
@@ -599,7 +593,8 @@ pub fn ring_allgather(
             let (wl, wr) = (comm.world_rank(l), comm.world_rank(right));
             let sbuf = bufs[l].slice(send_block as u64 * block, block);
             let dbuf = bufs[right].slice(send_block as u64 * block, block);
-            let (snd, rcv) = b.send_recv(wl, wr, block, Some(sbuf), Some(dbuf), &cur[l], &cur[right]);
+            let (snd, rcv) =
+                b.send_recv(wl, wr, block, Some(sbuf), Some(dbuf), &cur[l], &cur[right]);
             next[l].push(snd);
             next[right].push(rcv);
         }
@@ -698,6 +693,43 @@ pub fn linear_scatter(
             out.push(root, snd);
             out.push(l, rcv);
         }
+    }
+    out
+}
+
+/// Dissemination barrier: in round `k` every rank signals `(l + 2^k) mod n`
+/// and waits for `(l - 2^k) mod n`; after ⌈log₂ n⌉ rounds everyone has
+/// transitively heard from everyone. The classic flat barrier
+/// (`coll_tuned`'s default for medium communicators).
+pub fn dissemination_barrier(b: &mut ProgramBuilder, comm: &Comm, deps: &Frontier) -> Frontier {
+    let n = comm.size();
+    if n == 1 {
+        return deps.clone();
+    }
+    let mut cur: Vec<Vec<han_mpi::OpId>> = (0..n).map(|l| deps.get(l).to_vec()).collect();
+    let mut dist = 1;
+    while dist < n {
+        let mut next: Vec<Vec<han_mpi::OpId>> = vec![Vec::new(); n];
+        for l in 0..n {
+            let to = (l + dist) % n;
+            let (snd, rcv) = b.send_recv(
+                comm.world_rank(l),
+                comm.world_rank(to),
+                1,
+                None,
+                None,
+                &cur[l],
+                &cur[to],
+            );
+            next[l].push(snd);
+            next[to].push(rcv);
+        }
+        cur = next;
+        dist *= 2;
+    }
+    let mut out = Frontier::empty(n);
+    for (l, ops) in cur.into_iter().enumerate() {
+        out.set(l, ops);
     }
     out
 }
@@ -885,6 +917,7 @@ mod tests {
         let (mut m, comm) = setup(8, 1);
         let n = comm.size();
         let msg = 4u64 << 20;
+        #[allow(clippy::type_complexity)]
         let time_of = |m: &mut Machine,
                        f: &dyn Fn(
             &mut ProgramBuilder,
@@ -959,7 +992,10 @@ mod tests {
         for r in 0..n {
             assert_eq!(mem.read(r, dst_c[r]), &[r as u8; 4], "rank {r}");
         }
-        assert_eq!(mem.read(root, gathered), &[0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]);
+        assert_eq!(
+            mem.read(root, gathered),
+            &[0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]
+        );
     }
 
     #[test]
@@ -991,45 +1027,4 @@ mod tests {
             "pipelined chain {segmented} should be <0.5x of store-and-forward {unsegmented}"
         );
     }
-}
-
-/// Dissemination barrier: in round `k` every rank signals `(l + 2^k) mod n`
-/// and waits for `(l - 2^k) mod n`; after ⌈log₂ n⌉ rounds everyone has
-/// transitively heard from everyone. The classic flat barrier
-/// (`coll_tuned`'s default for medium communicators).
-pub fn dissemination_barrier(
-    b: &mut ProgramBuilder,
-    comm: &Comm,
-    deps: &Frontier,
-) -> Frontier {
-    let n = comm.size();
-    if n == 1 {
-        return deps.clone();
-    }
-    let mut cur: Vec<Vec<han_mpi::OpId>> = (0..n).map(|l| deps.get(l).to_vec()).collect();
-    let mut dist = 1;
-    while dist < n {
-        let mut next: Vec<Vec<han_mpi::OpId>> = vec![Vec::new(); n];
-        for l in 0..n {
-            let to = (l + dist) % n;
-            let (snd, rcv) = b.send_recv(
-                comm.world_rank(l),
-                comm.world_rank(to),
-                1,
-                None,
-                None,
-                &cur[l],
-                &cur[to],
-            );
-            next[l].push(snd);
-            next[to].push(rcv);
-        }
-        cur = next;
-        dist *= 2;
-    }
-    let mut out = Frontier::empty(n);
-    for (l, ops) in cur.into_iter().enumerate() {
-        out.set(l, ops);
-    }
-    out
 }

@@ -76,6 +76,7 @@ pub trait MpiStack {
     ) -> Frontier;
 
     /// `MPI_Reduce` to comm-local `root`, in place at the root.
+    #[allow(clippy::too_many_arguments)]
     fn reduce(
         &self,
         _cx: &mut BuildCtx,
@@ -155,11 +156,7 @@ pub fn sublocals(parent: &Comm, sub: &Comm) -> Vec<usize> {
 /// `split_node`, but the leader of the root's node is the root itself —
 /// the convention HAN and the hierarchical vendor stacks use so rooted
 /// collectives need no extra intra-node hop at the root.
-pub fn split_with_root(
-    comm: &Comm,
-    topo: &Topology,
-    root_world: usize,
-) -> (Vec<Comm>, Comm) {
+pub fn split_with_root(comm: &Comm, topo: &Topology, root_world: usize) -> (Vec<Comm>, Comm) {
     let (mut low, up) = comm.split_node(topo);
     let root_node = topo.node_of(root_world);
     let mut leaders: Vec<usize> = up.ranks().to_vec();
@@ -201,7 +198,14 @@ pub fn build_coll(
         }
         Coll::Allreduce => {
             let bufs = cx.b.alloc_all(bytes);
-            stack.allreduce(&mut cx, &comm, &bufs, ReduceOp::Sum, DataType::Float32, &deps);
+            stack.allreduce(
+                &mut cx,
+                &comm,
+                &bufs,
+                ReduceOp::Sum,
+                DataType::Float32,
+                &deps,
+            );
         }
         Coll::Reduce => {
             let bufs = cx.b.alloc_all(bytes);

@@ -23,7 +23,8 @@ pub enum TreeShape {
 }
 
 impl TreeShape {
-    pub const ALL_BASIC: [TreeShape; 3] = [TreeShape::Chain, TreeShape::Binary, TreeShape::Binomial];
+    pub const ALL_BASIC: [TreeShape; 3] =
+        [TreeShape::Chain, TreeShape::Binary, TreeShape::Binomial];
 
     pub fn name(&self) -> String {
         match self {
@@ -182,7 +183,10 @@ mod tests {
     #[test]
     fn binomial_depth_is_logarithmic() {
         for n in [2usize, 4, 8, 16, 64, 128] {
-            let max_depth = (0..n).map(|v| depth(TreeShape::Binomial, n, v)).max().unwrap();
+            let max_depth = (0..n)
+                .map(|v| depth(TreeShape::Binomial, n, v))
+                .max()
+                .unwrap();
             assert_eq!(max_depth, n.trailing_zeros() as usize, "n={n}");
         }
     }

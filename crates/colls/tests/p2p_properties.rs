@@ -3,6 +3,9 @@
 //! shapes, roots, message sizes and segmentations — including subset
 //! communicators with non-contiguous ranks.
 
+// Verification loops index several per-rank buffers by rank on purpose.
+#![allow(clippy::needless_range_loop)]
+
 use han_colls::p2p::{
     dissemination_barrier, rabenseifner_allreduce, rd_allreduce, ring_allgather, tree_bcast,
     tree_reduce,
@@ -24,18 +27,15 @@ fn arb_shape() -> impl Strategy<Value = TreeShape> {
 
 /// A random subset communicator over a 4x4 machine (>= 2 members).
 fn arb_subset_comm() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(any::<bool>(), 16).prop_filter_map(
-        "at least two members",
-        |mask| {
-            let ranks: Vec<usize> = mask
-                .iter()
-                .enumerate()
-                .filter(|(_, &m)| m)
-                .map(|(i, _)| i)
-                .collect();
-            (ranks.len() >= 2).then_some(ranks)
-        },
-    )
+    proptest::collection::vec(any::<bool>(), 16).prop_filter_map("at least two members", |mask| {
+        let ranks: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i)
+            .collect();
+        (ranks.len() >= 2).then_some(ranks)
+    })
 }
 
 proptest! {

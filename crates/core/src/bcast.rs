@@ -255,11 +255,7 @@ mod tests {
         let mut m = Machine::from_preset(&preset);
         let rep = execute(&mut m, &prog, &ExecOpts::timing(Flavor::OpenMpi.p2p()));
         for ul in 0..4 {
-            let times: Vec<_> = built
-                .boundaries
-                .iter()
-                .map(|t| rep.finish(t[ul]))
-                .collect();
+            let times: Vec<_> = built.boundaries.iter().map(|t| rep.finish(t[ul])).collect();
             for w in times.windows(2) {
                 assert!(w[0] <= w[1], "leader {ul}: boundaries must be ordered");
             }

@@ -199,10 +199,9 @@ pub fn build_gather(
         let locals = sublocals(comm, lc);
         let wleader = lc.world_rank(0);
         let members: Vec<usize> = lc.ranks().to_vec();
-        let arr = cx
-            .b
-            .alloc(wleader, block * lc.size() as u64)
-            .slice(0, block * lc.size() as u64);
+        let arr =
+            cx.b.alloc(wleader, block * lc.size() as u64)
+                .slice(0, block * lc.size() as u64);
         let mut ready = Vec::new();
         for (j, &l) in locals.iter().enumerate() {
             let w = lc.world_rank(j);
@@ -480,8 +479,8 @@ pub fn build_allgather(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use han_mpi::ProgramBuilder;
     use han_machine::{mini, Flavor, Machine};
+    use han_mpi::ProgramBuilder;
     use han_mpi::{execute_seeded, ExecOpts};
 
     #[test]
@@ -516,7 +515,9 @@ mod tests {
             &ExecOpts::with_data(Flavor::OpenMpi.p2p()),
             |mm| {
                 for r in 0..n {
-                    let vals: Vec<u8> = (0..32).flat_map(|i| ((r + i) as i32).to_le_bytes()).collect();
+                    let vals: Vec<u8> = (0..32)
+                        .flat_map(|i| ((r + i) as i32).to_le_bytes())
+                        .collect();
                     mm.write(r, bufs2[r], &vals);
                 }
             },
@@ -647,9 +648,9 @@ mod tests {
 
     #[test]
     fn hierarchical_barrier_beats_flat_dissemination() {
+        use crate::Han;
         use han_colls::stack::{time_coll, Coll};
         use han_colls::TunedOpenMpi;
-        use crate::Han;
         // With fat nodes, three flag hops + leader dissemination should
         // beat log2(n*p) full network rounds.
         let preset = mini(4, 8);

@@ -177,7 +177,7 @@ mod tests {
             &mut m,
             &prog,
             &ExecOpts::with_data(han.flavor().p2p()),
-            |mm| mm.write(0, buf, &vec![13u8; 200]),
+            |mm| mm.write(0, buf, &[13u8; 200]),
         );
         for r in 0..9 {
             assert_eq!(mem.read(r, buf), vec![13u8; 200].as_slice(), "rank {r}");
@@ -198,13 +198,7 @@ mod tests {
                     .with_intra(han_colls::IntraModule::Solo),
             ),
         ] {
-            let t_han = time_coll(
-                &Han::with_config(cfg),
-                &preset,
-                Coll::Bcast,
-                bytes,
-                0,
-            );
+            let t_han = time_coll(&Han::with_config(cfg), &preset, Coll::Bcast, bytes, 0);
             let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, bytes, 0);
             assert!(
                 t_han < t_tuned,
@@ -230,7 +224,7 @@ mod tests {
         // Both sizes must run correctly through the dynamic source.
         for bytes in [256u64, 4096] {
             let prog = build_coll(&han, &preset, Coll::Bcast, bytes, 0);
-            assert!(prog.len() > 0);
+            assert!(!prog.is_empty());
         }
     }
 

@@ -42,6 +42,11 @@
 //! * [`levels`] — documented extension points for >2 hierarchy levels and
 //!   GPU submodules (the paper's future work; not implemented).
 
+// Collective builders iterate ranks/leaders by index into several
+// parallel per-rank buffer arrays at once; iterator rewrites of those
+// loops obscure the rank arithmetic.
+#![allow(clippy::needless_range_loop)]
+
 pub mod allreduce;
 pub mod bcast;
 pub mod config;

@@ -164,7 +164,9 @@ pub fn task_program(
     let mut leader_ops: Vec<Vec<OpId>> = vec![Vec::new(); nl];
 
     let alloc_bufs = |cx: &mut BuildCtx| -> Vec<BufRange> {
-        (0..n).map(|r| cx.b.alloc(r, seg.max(1)).slice(0, seg)).collect()
+        (0..n)
+            .map(|r| cx.b.alloc(r, seg.max(1)).slice(0, seg))
+            .collect()
     };
 
     if spec.sr {
@@ -263,7 +265,11 @@ mod tests {
         let cfg = HanConfig::default();
         let tp = task_program(&preset, &cfg, spec, seg, 0);
         let mut m = Machine::from_preset(&preset);
-        let rep = execute(&mut m, &tp.program, &ExecOpts::timing(Flavor::OpenMpi.p2p()));
+        let rep = execute(
+            &mut m,
+            &tp.program,
+            &ExecOpts::timing(Flavor::OpenMpi.p2p()),
+        );
         tp.observers.iter().map(|&(_, op)| rep.finish(op)).collect()
     }
 
@@ -325,13 +331,21 @@ mod tests {
         let seg = 256 * 1024;
         let tp_ib = task_program(&preset, &cfg, TaskSpec::IB, seg, 0);
         let mut m = Machine::from_preset(&preset);
-        let rep = execute(&mut m, &tp_ib.program, &ExecOpts::timing(Flavor::OpenMpi.p2p()));
+        let rep = execute(
+            &mut m,
+            &tp_ib.program,
+            &ExecOpts::timing(Flavor::OpenMpi.p2p()),
+        );
         let mut skew = vec![Time::ZERO; preset.topology.world_size()];
         for &(w, op) in &tp_ib.observers {
             skew[w] = rep.finish(op);
         }
         let tp = task_program(&preset, &cfg, TaskSpec::SBIB, seg, 0);
-        let plain = execute(&mut m, &tp.program, &ExecOpts::timing(Flavor::OpenMpi.p2p()));
+        let plain = execute(
+            &mut m,
+            &tp.program,
+            &ExecOpts::timing(Flavor::OpenMpi.p2p()),
+        );
         let skewed = execute(
             &mut m,
             &tp.program,

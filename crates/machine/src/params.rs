@@ -98,10 +98,7 @@ impl NetParams {
     /// Endpoint bus occupancy caused by NIC DMA for `bytes`.
     #[inline]
     pub fn dma_bus_time(&self, bytes: u64, node: &NodeParams) -> Time {
-        Time::for_bytes(
-            (bytes as f64 * self.dma_bus_factor) as u64,
-            node.bus_bw,
-        )
+        Time::for_bytes((bytes as f64 * self.dma_bus_factor) as u64, node.bus_bw)
     }
 }
 

@@ -63,8 +63,20 @@ macro_rules! reduce_typed {
             let r: $t = match $op {
                 ReduceOp::Sum => a + b,
                 ReduceOp::Prod => a * b,
-                ReduceOp::Max => if b > a { b } else { a },
-                ReduceOp::Min => if b < a { b } else { a },
+                ReduceOp::Max => {
+                    if b > a {
+                        b
+                    } else {
+                        a
+                    }
+                }
+                ReduceOp::Min => {
+                    if b < a {
+                        b
+                    } else {
+                        a
+                    }
+                }
             };
             d.copy_from_slice(&r.to_le_bytes());
         }
@@ -149,8 +161,14 @@ mod tests {
 
     #[test]
     fn sum_f64() {
-        let src: Vec<u8> = [1.5f64, 2.25].iter().flat_map(|x| x.to_le_bytes()).collect();
-        let mut dst: Vec<u8> = [0.5f64, 0.75].iter().flat_map(|x| x.to_le_bytes()).collect();
+        let src: Vec<u8> = [1.5f64, 2.25]
+            .iter()
+            .flat_map(|x| x.to_le_bytes())
+            .collect();
+        let mut dst: Vec<u8> = [0.5f64, 0.75]
+            .iter()
+            .flat_map(|x| x.to_le_bytes())
+            .collect();
         apply_reduce(DataType::Float64, ReduceOp::Sum, &src, &mut dst);
         let out: Vec<f64> = dst
             .chunks_exact(8)

@@ -35,13 +35,28 @@ use crate::program::{MsgId, OpId, OpKind, Program};
 use han_machine::{Machine, P2pParams};
 use han_sim::{EventQueue, Time};
 
+/// How much work the executor does per event.
+///
+/// Virtual times are **bit-identical** across modes: payload movement never
+/// influences resource occupancy, only real wall-clock spent simulating.
+/// Tuning sweeps therefore run `TimingOnly` (no per-rank memories, no
+/// payload copies) while correctness tests keep `Full`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Model resource occupancy only; skip all payload reads/copies.
+    #[default]
+    TimingOnly,
+    /// Additionally materialize per-rank memories and move real bytes.
+    Full,
+}
+
 /// Execution options.
 #[derive(Debug, Clone)]
 pub struct ExecOpts {
     /// Point-to-point protocol parameters (per MPI library flavour).
     pub p2p: P2pParams,
-    /// Move real bytes and return a [`Memory`] (correctness mode).
-    pub data: bool,
+    /// Timing-only fast path vs. full data movement (correctness mode).
+    pub mode: ExecMode,
     /// Per-rank start skew: ops without dependencies on rank `r` become
     /// ready at `start_times[r]`. Used by the task benchmarks that must
     /// "delay the participation of each process by the duration of the
@@ -53,7 +68,7 @@ impl ExecOpts {
     pub fn timing(p2p: P2pParams) -> Self {
         ExecOpts {
             p2p,
-            data: false,
+            mode: ExecMode::TimingOnly,
             start_times: None,
         }
     }
@@ -61,7 +76,15 @@ impl ExecOpts {
     pub fn with_data(p2p: P2pParams) -> Self {
         ExecOpts {
             p2p,
-            data: true,
+            mode: ExecMode::Full,
+            start_times: None,
+        }
+    }
+
+    pub fn with_mode(p2p: P2pParams, mode: ExecMode) -> Self {
+        ExecOpts {
+            p2p,
+            mode,
             start_times: None,
         }
     }
@@ -69,6 +92,12 @@ impl ExecOpts {
     pub fn with_skew(mut self, start_times: Vec<Time>) -> Self {
         self.start_times = Some(start_times);
         self
+    }
+
+    /// True when real bytes are moved (a [`Memory`] will be produced).
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.mode == ExecMode::Full
     }
 }
 
@@ -105,7 +134,10 @@ pub fn execute_with_memory(
     prog: &Program,
     opts: &ExecOpts,
 ) -> (Report, Memory) {
-    assert!(opts.data, "execute_with_memory requires opts.data");
+    assert!(
+        opts.is_full(),
+        "execute_with_memory requires ExecMode::Full"
+    );
     let (report, mem) = run(machine, prog, opts);
     (report, mem.expect("data mode produces memory"))
 }
@@ -163,10 +195,17 @@ struct Exec<'a> {
     msgs: Vec<MsgState>,
     mem: Option<Memory>,
     completed: usize,
+    /// Reusable operand buffer for Reduce/ReduceFrom in Full mode; the
+    /// executor is single-threaded so one buffer serves every rank.
+    scratch: Vec<u8>,
+    /// Free list of payload buffers. Send snapshots pop from here and are
+    /// returned when the matching Recv delivers, so steady-state execution
+    /// allocates only up to the peak number of in-flight messages.
+    payload_pool: Vec<Vec<u8>>,
 }
 
 fn run(machine: &mut Machine, prog: &Program, opts: &ExecOpts) -> (Report, Option<Memory>) {
-    let mem = opts.data.then(|| Memory::new(&prog.mem_size));
+    let mem = opts.is_full().then(|| Memory::new(&prog.mem_size));
     run_inner(machine, prog, opts, mem)
 }
 
@@ -223,6 +262,8 @@ fn run_inner(
         msgs,
         mem,
         completed: 0,
+        scratch: Vec::new(),
+        payload_pool: Vec::new(),
     };
 
     // A rank executes nothing before its arrival time: floor every op's
@@ -354,7 +395,9 @@ impl<'a> Exec<'a> {
         // buffer until the send completes.
         if let Some(mem) = &self.mem {
             if let Some(sbuf) = meta.sbuf {
-                let data = mem.read(rank, sbuf).to_vec();
+                let mut data = self.payload_pool.pop().unwrap_or_default();
+                data.clear();
+                data.extend_from_slice(mem.read(rank, sbuf));
                 self.msgs[msg.0 as usize].payload = Some(data);
             }
         }
@@ -433,7 +476,8 @@ impl<'a> Exec<'a> {
         let meta = self.prog.msg(msg);
         let cpu = self.m.cpu(meta.dst as usize);
         let (_, e) = self.m.acquire(cpu, t, self.opts.p2p.o_recv);
-        self.q.push(e + self.opts.p2p.rndv_handshake, Ev::TxStart(msg));
+        self.q
+            .push(e + self.opts.p2p.rndv_handshake, Ev::TxStart(msg));
     }
 
     fn on_tx_start(&mut self, t: Time, msg: MsgId) {
@@ -545,7 +589,10 @@ impl<'a> Exec<'a> {
 
         let rank = self.prog.ops[idx].rank;
         let node = self.node_of_rank(rank);
-        let (lo, hi) = (self.child_off[idx] as usize, self.child_off[idx + 1] as usize);
+        let (lo, hi) = (
+            self.child_off[idx] as usize,
+            self.child_off[idx + 1] as usize,
+        );
         for ci in lo..hi {
             let c = self.child[ci] as usize;
             let crank = self.prog.ops[c].rank;
@@ -593,9 +640,10 @@ impl<'a> Exec<'a> {
                 ..
             } => {
                 if let (Some(s), Some(d)) = (src, dst) {
-                    let tmp = mem.read(rank, *s).to_vec();
+                    self.scratch.clear();
+                    self.scratch.extend_from_slice(mem.read(rank, *s));
                     let dslice = unsafe_mut_range(mem, rank, *d);
-                    crate::datatype::apply_reduce(*dtype, *rop, &tmp, dslice);
+                    crate::datatype::apply_reduce(*dtype, *rop, &self.scratch, dslice);
                 }
             }
             OpKind::ReduceFrom {
@@ -607,9 +655,10 @@ impl<'a> Exec<'a> {
                 ..
             } => {
                 if let (Some(s), Some(d)) = (src, dst) {
-                    let tmp = mem.read(*from as usize, *s).to_vec();
+                    self.scratch.clear();
+                    self.scratch.extend_from_slice(mem.read(*from as usize, *s));
                     let dslice = unsafe_mut_range(mem, rank, *d);
-                    crate::datatype::apply_reduce(*dtype, *rop, &tmp, dslice);
+                    crate::datatype::apply_reduce(*dtype, *rop, &self.scratch, dslice);
                 }
             }
             OpKind::Recv { msg } => {
@@ -617,6 +666,7 @@ impl<'a> Exec<'a> {
                 if let Some(dbuf) = meta.dbuf {
                     if let Some(payload) = self.msgs[msg.0 as usize].payload.take() {
                         mem.write(rank, dbuf, &payload);
+                        self.payload_pool.push(payload);
                     }
                 }
             }
@@ -632,6 +682,21 @@ fn unsafe_mut_range(mem: &mut Memory, rank: usize, r: crate::buffer::BufRange) -
     // only live mutable borrow.
     let ptr = mem.read(rank, r).as_ptr() as *mut u8;
     unsafe { std::slice::from_raw_parts_mut(ptr, r.len as usize) }
+}
+
+/// Execute with a closure that seeds initial memory contents (testing and
+/// correctness harnesses).
+pub fn execute_seeded(
+    machine: &mut Machine,
+    prog: &Program,
+    opts: &ExecOpts,
+    seed: impl FnOnce(&mut Memory),
+) -> (Report, Memory) {
+    assert!(opts.is_full(), "execute_seeded requires ExecMode::Full");
+    let mut mem = Memory::new(&prog.mem_size);
+    seed(&mut mem);
+    let (report, mem) = run_inner(machine, prog, opts, Some(mem));
+    (report, mem.expect("data mode produces memory"))
 }
 
 #[cfg(test)]
@@ -914,19 +979,4 @@ mod tests {
     fn as_i32(xs: &[i32]) -> Vec<u8> {
         xs.iter().flat_map(|x| x.to_le_bytes()).collect()
     }
-}
-
-/// Execute with a closure that seeds initial memory contents (testing and
-/// correctness harnesses).
-pub fn execute_seeded(
-    machine: &mut Machine,
-    prog: &Program,
-    opts: &ExecOpts,
-    seed: impl FnOnce(&mut Memory),
-) -> (Report, Memory) {
-    assert!(opts.data, "execute_seeded requires opts.data");
-    let mut mem = Memory::new(&prog.mem_size);
-    seed(&mut mem);
-    let (report, mem) = run_inner(machine, prog, opts, Some(mem));
-    (report, mem.expect("data mode produces memory"))
 }

@@ -43,6 +43,6 @@ pub use buffer::{BufRange, Memory};
 pub use builder::ProgramBuilder;
 pub use comm::Comm;
 pub use datatype::{DataType, ReduceOp};
-pub use exec::{execute, execute_seeded, execute_with_memory, ExecOpts, Report};
+pub use exec::{execute, execute_seeded, execute_with_memory, ExecMode, ExecOpts, Report};
 pub use program::{Op, OpId, OpKind, Program};
 pub use trace::{trace_execution, Trace};

@@ -166,8 +166,19 @@ impl Program {
                         }
                     }
                 }
-                OpKind::CrossCopy { from, src, dst, bytes }
-                | OpKind::ReduceFrom { from, src, dst, bytes, .. } => {
+                OpKind::CrossCopy {
+                    from,
+                    src,
+                    dst,
+                    bytes,
+                }
+                | OpKind::ReduceFrom {
+                    from,
+                    src,
+                    dst,
+                    bytes,
+                    ..
+                } => {
                     if *from as usize >= self.nranks {
                         return Err(format!("op {i}: from rank {from} out of range"));
                     }
@@ -179,7 +190,9 @@ impl Program {
                         }
                     }
                 }
-                OpKind::Reduce { src, dst, bytes, .. } => {
+                OpKind::Reduce {
+                    src, dst, bytes, ..
+                } => {
                     check_buf(src, op.rank, "src")?;
                     check_buf(dst, op.rank, "dst")?;
                     for r in [src, dst].into_iter().flatten() {

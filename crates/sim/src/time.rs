@@ -14,7 +14,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// The same type is used for instants and durations; the simulator's
 /// arithmetic is simple enough that a separate `Duration` type would only
 /// add noise.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Time(pub u64);
 
 pub const PS_PER_NS: u64 = 1_000;

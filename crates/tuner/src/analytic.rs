@@ -10,8 +10,8 @@
 //! measured-task model buys (an ablation bench regenerates this
 //! comparison).
 
-use han_machine::{Flavor, MachinePreset};
 use han_core::HanConfig;
+use han_machine::{Flavor, MachinePreset};
 use han_sim::Time;
 
 /// Which analytic model to evaluate.
@@ -56,7 +56,12 @@ fn log2_ceil(n: usize) -> u64 {
 
 /// Predict the cost of a hierarchical `MPI_Bcast` of `m` bytes under
 /// configuration `cfg` on `preset`, using closed-form parameters only.
-pub fn predict_bcast(model: AnalyticModel, preset: &MachinePreset, cfg: &HanConfig, m: u64) -> Time {
+pub fn predict_bcast(
+    model: AnalyticModel,
+    preset: &MachinePreset,
+    cfg: &HanConfig,
+    m: u64,
+) -> Time {
     let p2p = Flavor::OpenMpi.p2p();
     let nodes = preset.topology.nodes();
     let ppn = preset.topology.ppn();
@@ -96,8 +101,7 @@ pub fn predict_bcast(model: AnalyticModel, preset: &MachinePreset, cfg: &HanConf
             // fill (one inter hop chain) + u·max(seg_inter, seg_intra).
             let u = cfg.segments(m);
             let seg = cfg.fs.min(m.max(1));
-            let t_inter =
-                (alpha + Time::for_bytes(seg, preset.net.nic_bw)) * log2_ceil(nodes);
+            let t_inter = (alpha + Time::for_bytes(seg, preset.net.nic_bw)) * log2_ceil(nodes);
             let t_intra = Time::for_bytes(seg, preset.node.copy_rate) * 2
                 + preset.node.flag_latency * (ppn as u64);
             t_inter + t_inter.max(t_intra) * (u.saturating_sub(1)) + t_intra

@@ -1,0 +1,440 @@
+//! Cross-run memoization of simulated costs (the sweep fast path).
+//!
+//! The paper's tuning-time argument is that measured task costs are
+//! *reused* across message sizes and collectives. [`TaskBench`] already
+//! reuses costs within one session; this module extends the same idea to
+//! the simulator's wall-clock: a [`CostCache`] memoizes
+//!
+//! * **collective costs** — `(collective, config, message size)` → virtual
+//!   latency, the unit of work of the exhaustive sweeps behind Figs. 8/9;
+//! * **task costs** — `(config, task spec, segment size, relative skew)` →
+//!   per-leader virtual costs plus the benchmark window, the unit of work
+//!   of task-based tuning.
+//!
+//! The cache is shared across message sizes, collectives, and search
+//! strategies within a run (the heuristic search space is a subset of the
+//! full one, so a full sweep warms every heuristic sweep for free), and
+//! can be persisted under `results/cache/` so repeated `repro` invocations
+//! are warm-started.
+//!
+//! **Invalidation rule:** every cache is bound to a fingerprint — a stable
+//! hash of the complete machine preset (topology, node, and network
+//! parameters, floats hashed by shortest decimal representation). A
+//! persisted cache whose fingerprint does not match the current preset is
+//! ignored, never merged.
+//!
+//! **Fidelity rule:** a cache hit must be observationally identical to a
+//! simulation. Hits return the exact virtual times a simulation would
+//! produce and are accounted identically (`spent`/`runs` in
+//! [`TaskBench`], `tuning_time`/`searches` in the search strategies) —
+//! only host wall-clock is saved, never virtual time.
+//!
+//! [`TaskBench`]: crate::taskbench::TaskBench
+
+use han_colls::Coll;
+use han_core::task::TaskSpec;
+use han_core::HanConfig;
+use han_machine::MachinePreset;
+use han_sim::Time;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Stable fingerprint of a machine preset: FNV-1a over its canonical JSON
+/// form. Any change to topology, node, or network parameters changes the
+/// fingerprint and invalidates persisted caches.
+pub fn preset_fingerprint(preset: &MachinePreset) -> u64 {
+    let text = serde_json::to_string(preset).expect("preset serializes");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+type CollKey = (Coll, HanConfig, u64);
+type TaskKey = (HanConfig, TaskSpec, u64, Vec<u64>);
+
+/// A memoized task measurement: per-leader costs plus the cluster-occupancy
+/// window the benchmark charged (both in picoseconds).
+#[derive(Debug, Clone)]
+struct TaskEntry {
+    cost_ps: Vec<u64>,
+    window_ps: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    coll: HashMap<CollKey, u64>,
+    task: HashMap<TaskKey, TaskEntry>,
+}
+
+/// Shared, thread-safe cost memo bound to one machine preset.
+pub struct CostCache {
+    fingerprint: u64,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Hit/miss/size counters for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub coll_entries: usize,
+    pub task_entries: usize,
+}
+
+impl CostCache {
+    pub fn new(preset: &MachinePreset) -> Self {
+        CostCache {
+            fingerprint: preset_fingerprint(preset),
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coll_entries: inner.coll.len(),
+            task_entries: inner.task.len(),
+        }
+    }
+
+    /// Memoized full-collective latency, if present.
+    pub fn lookup_coll(&self, coll: Coll, cfg: &HanConfig, m: u64) -> Option<Time> {
+        let found = self
+            .inner
+            .lock()
+            .unwrap()
+            .coll
+            .get(&(coll, *cfg, m))
+            .copied();
+        match found {
+            Some(ps) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Time::from_ps(ps))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    pub fn record_coll(&self, coll: Coll, cfg: &HanConfig, m: u64, cost: Time) {
+        self.inner
+            .lock()
+            .unwrap()
+            .coll
+            .insert((coll, *cfg, m), cost.as_ps());
+    }
+
+    /// Memoized task measurement: `(per-leader costs, benchmark window)`.
+    pub fn lookup_task(
+        &self,
+        cfg: &HanConfig,
+        spec: TaskSpec,
+        seg: u64,
+        skew_key: &[u64],
+    ) -> Option<(Vec<Time>, Time)> {
+        let found = self
+            .inner
+            .lock()
+            .unwrap()
+            .task
+            .get(&(*cfg, spec, seg, skew_key.to_vec()))
+            .cloned();
+        match found {
+            Some(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((
+                    e.cost_ps.iter().map(|&p| Time::from_ps(p)).collect(),
+                    Time::from_ps(e.window_ps),
+                ))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    pub fn record_task(
+        &self,
+        cfg: &HanConfig,
+        spec: TaskSpec,
+        seg: u64,
+        skew_key: Vec<u64>,
+        costs: &[Time],
+        window: Time,
+    ) {
+        self.inner.lock().unwrap().task.insert(
+            (*cfg, spec, seg, skew_key),
+            TaskEntry {
+                cost_ps: costs.iter().map(|t| t.as_ps()).collect(),
+                window_ps: window.as_ps(),
+            },
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Persistence
+
+    /// Canonical on-disk location for a preset's cache.
+    pub fn path_for(dir: &Path, preset: &MachinePreset) -> PathBuf {
+        dir.join(format!(
+            "cost_cache_{:016x}.json",
+            preset_fingerprint(preset)
+        ))
+    }
+
+    /// Load the persisted cache for `preset` from `dir`, or start empty.
+    /// A missing file, unparsable contents, or a fingerprint mismatch all
+    /// yield an empty cache (the invalidation rule).
+    pub fn load_or_new(dir: &Path, preset: &MachinePreset) -> Self {
+        let path = Self::path_for(dir, preset);
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Some(cache) = Self::from_json(&text) {
+                if cache.fingerprint == preset_fingerprint(preset) {
+                    return cache;
+                }
+            }
+        }
+        Self::new(preset)
+    }
+
+    /// Persist under `dir` (created if needed) at the canonical path.
+    pub fn save_under(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("cost_cache_{:016x}.json", self.fingerprint));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let coll: Vec<Value> = inner
+            .coll
+            .iter()
+            .map(|(&(coll, cfg, m), &ps)| {
+                Value::Seq(vec![
+                    Value::Str(coll.name().to_string()),
+                    cfg.to_value(),
+                    Value::UInt(m),
+                    Value::UInt(ps),
+                ])
+            })
+            .collect();
+        let task: Vec<Value> = inner
+            .task
+            .iter()
+            .map(|((cfg, spec, seg, skew), entry)| {
+                Value::Seq(vec![
+                    cfg.to_value(),
+                    Value::Seq(
+                        [spec.ib, spec.sb, spec.ir, spec.sr]
+                            .iter()
+                            .map(|&b| Value::Bool(b))
+                            .collect(),
+                    ),
+                    Value::UInt(*seg),
+                    Value::Seq(skew.iter().map(|&s| Value::UInt(s)).collect()),
+                    Value::Seq(entry.cost_ps.iter().map(|&p| Value::UInt(p)).collect()),
+                    Value::UInt(entry.window_ps),
+                ])
+            })
+            .collect();
+        let root = Value::Map(vec![
+            ("fingerprint".to_string(), Value::UInt(self.fingerprint)),
+            ("coll".to_string(), Value::Seq(coll)),
+            ("task".to_string(), Value::Seq(task)),
+        ]);
+        serde_json::to_string_pretty(&root).expect("cache serializes")
+    }
+
+    pub fn from_json(text: &str) -> Option<Self> {
+        let root: Value = serde_json::from_str(text).ok()?;
+        let fingerprint = root["fingerprint"].as_u64()?;
+        let mut inner = Inner::default();
+        for item in root["coll"].as_array()? {
+            let coll = coll_from_name(item[0].as_str()?)?;
+            let cfg = HanConfig::from_value(&item[1]).ok()?;
+            let m = item[2].as_u64()?;
+            let ps = item[3].as_u64()?;
+            inner.coll.insert((coll, cfg, m), ps);
+        }
+        for item in root["task"].as_array()? {
+            let cfg = HanConfig::from_value(&item[0]).ok()?;
+            let flags = item[1].as_array()?;
+            if flags.len() != 4 {
+                return None;
+            }
+            let spec = TaskSpec {
+                ib: flags[0].as_bool()?,
+                sb: flags[1].as_bool()?,
+                ir: flags[2].as_bool()?,
+                sr: flags[3].as_bool()?,
+            };
+            let seg = item[2].as_u64()?;
+            let skew: Vec<u64> = item[3]
+                .as_array()?
+                .iter()
+                .map(|v| v.as_u64())
+                .collect::<Option<_>>()?;
+            let cost_ps: Vec<u64> = item[4]
+                .as_array()?
+                .iter()
+                .map(|v| v.as_u64())
+                .collect::<Option<_>>()?;
+            let window_ps = item[5].as_u64()?;
+            inner
+                .task
+                .insert((cfg, spec, seg, skew), TaskEntry { cost_ps, window_ps });
+        }
+        Some(CostCache {
+            fingerprint,
+            inner: Mutex::new(inner),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+}
+
+fn coll_from_name(name: &str) -> Option<Coll> {
+    Some(match name {
+        "bcast" => Coll::Bcast,
+        "allreduce" => Coll::Allreduce,
+        "reduce" => Coll::Reduce,
+        "gather" => Coll::Gather,
+        "scatter" => Coll::Scatter,
+        "allgather" => Coll::Allgather,
+        "barrier" => Coll::Barrier,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use han_machine::{mini, stampede2};
+
+    #[test]
+    fn fingerprint_separates_presets() {
+        let a = preset_fingerprint(&mini(4, 4));
+        let b = preset_fingerprint(&mini(4, 8));
+        let c = preset_fingerprint(&mini(4, 4));
+        assert_ne!(a, b, "different topologies must differ");
+        assert_eq!(a, c, "fingerprint must be stable");
+        assert_ne!(a, preset_fingerprint(&stampede2(4)));
+    }
+
+    #[test]
+    fn coll_memo_round_trip() {
+        let preset = mini(2, 2);
+        let cache = CostCache::new(&preset);
+        let cfg = HanConfig::default();
+        assert_eq!(cache.lookup_coll(Coll::Bcast, &cfg, 1024), None);
+        cache.record_coll(Coll::Bcast, &cfg, 1024, Time::from_us(7));
+        assert_eq!(
+            cache.lookup_coll(Coll::Bcast, &cfg, 1024),
+            Some(Time::from_us(7))
+        );
+        // Other keys stay cold.
+        assert_eq!(cache.lookup_coll(Coll::Allreduce, &cfg, 1024), None);
+        assert_eq!(cache.lookup_coll(Coll::Bcast, &cfg, 2048), None);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.coll_entries), (1, 3, 1));
+    }
+
+    #[test]
+    fn task_memo_round_trip() {
+        let preset = mini(2, 2);
+        let cache = CostCache::new(&preset);
+        let cfg = HanConfig::default();
+        let skew = vec![0u64, 500];
+        assert!(cache.lookup_task(&cfg, TaskSpec::IB, 4096, &skew).is_none());
+        cache.record_task(
+            &cfg,
+            TaskSpec::IB,
+            4096,
+            skew.clone(),
+            &[Time::from_us(1), Time::from_us(2)],
+            Time::from_us(3),
+        );
+        let (costs, window) = cache.lookup_task(&cfg, TaskSpec::IB, 4096, &skew).unwrap();
+        assert_eq!(costs, vec![Time::from_us(1), Time::from_us(2)]);
+        assert_eq!(window, Time::from_us(3));
+        // A different skew shape is a different measurement.
+        assert!(cache
+            .lookup_task(&cfg, TaskSpec::IB, 4096, &[0, 501])
+            .is_none());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_entries() {
+        let preset = mini(2, 2);
+        let cache = CostCache::new(&preset);
+        let cfg = HanConfig::default().with_fs(4096);
+        cache.record_coll(Coll::Bcast, &cfg, 1 << 20, Time::from_us(42));
+        cache.record_task(
+            &cfg,
+            TaskSpec::SBIB,
+            4096,
+            vec![0, 250],
+            &[Time::from_us(5), Time::from_us(6)],
+            Time::from_us(7),
+        );
+        let json = cache.to_json();
+        let back = CostCache::from_json(&json).expect("parses");
+        assert_eq!(back.fingerprint(), cache.fingerprint());
+        assert_eq!(
+            back.lookup_coll(Coll::Bcast, &cfg, 1 << 20),
+            Some(Time::from_us(42))
+        );
+        let (costs, window) = back
+            .lookup_task(&cfg, TaskSpec::SBIB, 4096, &[0, 250])
+            .unwrap();
+        assert_eq!(costs.len(), 2);
+        assert_eq!(window, Time::from_us(7));
+    }
+
+    #[test]
+    fn persistence_respects_fingerprint() {
+        let dir = std::env::temp_dir().join("han_cost_cache_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let preset = mini(3, 2);
+        let cache = CostCache::new(&preset);
+        let cfg = HanConfig::default();
+        cache.record_coll(Coll::Bcast, &cfg, 4096, Time::from_us(11));
+        let path = cache.save_under(&dir).unwrap();
+        assert!(path.exists());
+
+        // Same preset: warm start.
+        let warm = CostCache::load_or_new(&dir, &preset);
+        assert_eq!(
+            warm.lookup_coll(Coll::Bcast, &cfg, 4096),
+            Some(Time::from_us(11))
+        );
+
+        // Different preset: the invalidation rule yields a cold cache.
+        let other = mini(3, 4);
+        let cold = CostCache::load_or_new(&dir, &other);
+        assert_eq!(cold.lookup_coll(Coll::Bcast, &cfg, 4096), None);
+        assert_eq!(cold.stats().coll_entries, 0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -51,7 +51,11 @@ pub fn fit_logp(samples: &[(u64, Time)]) -> FittedP2p {
         .zip(&ys)
         .map(|(x, y)| (y - (a + g * x)).powi(2))
         .sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
 
     FittedP2p {
         alpha: Time::from_secs_f64(a.max(0.0)),
@@ -79,12 +83,7 @@ mod tests {
     fn synth(alpha_us: f64, bw: f64, sizes: &[u64]) -> Vec<(u64, Time)> {
         sizes
             .iter()
-            .map(|&b| {
-                (
-                    b,
-                    Time::from_secs_f64(alpha_us * 1e-6 + b as f64 / bw),
-                )
-            })
+            .map(|&b| (b, Time::from_secs_f64(alpha_us * 1e-6 + b as f64 / bw)))
             .collect()
     }
 

@@ -63,7 +63,10 @@ impl DecisionTree {
                     Some(c) => {
                         // Close the previous run at the log-space midpoint.
                         let bound = geo_mid(prev_size, m);
-                        out.push(Rule { upto: bound, cfg: c });
+                        out.push(Rule {
+                            upto: bound,
+                            cfg: c,
+                        });
                         run_cfg = Some(cfg);
                     }
                     None => run_cfg = Some(cfg),
@@ -130,7 +133,12 @@ mod tests {
         // (message size, tuned fs)
         let mut t = LookupTable::new(4, 8);
         for &(m, fs) in picks {
-            t.insert(Coll::Bcast, m, HanConfig::default().with_fs(fs), Time::from_us(1));
+            t.insert(
+                Coll::Bcast,
+                m,
+                HanConfig::default().with_fs(fs),
+                Time::from_us(1),
+            );
         }
         t
     }
@@ -181,7 +189,12 @@ mod tests {
             (16 << 20, 1 << 20),
         ]);
         let d = DecisionTree::distill(&t);
-        for &(m, fs) in &[(64u64, 64u64), (4096, 2048), (1 << 20, 131072), (16 << 20, 1 << 20)] {
+        for &(m, fs) in &[
+            (64u64, 64u64),
+            (4096, 2048),
+            (1 << 20, 131072),
+            (16 << 20, 1 << 20),
+        ] {
             assert_eq!(d.decide(Coll::Bcast, m).unwrap().fs, fs, "at {m}");
         }
     }

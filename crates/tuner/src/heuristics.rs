@@ -59,10 +59,22 @@ mod tests {
 
     #[test]
     fn solo_only_for_large_segments() {
-        assert!(!admit_seg(&cfg(64 * 1024, IntraModule::Solo, InterAlg::Binomial), 8));
-        assert!(admit_seg(&cfg(512 * 1024, IntraModule::Solo, InterAlg::Binomial), 8));
-        assert!(admit_seg(&cfg(64 * 1024, IntraModule::Sm, InterAlg::Binomial), 8));
-        assert!(!admit_seg(&cfg(1 << 20, IntraModule::Sm, InterAlg::Binomial), 8));
+        assert!(!admit_seg(
+            &cfg(64 * 1024, IntraModule::Solo, InterAlg::Binomial),
+            8
+        ));
+        assert!(admit_seg(
+            &cfg(512 * 1024, IntraModule::Solo, InterAlg::Binomial),
+            8
+        ));
+        assert!(admit_seg(
+            &cfg(64 * 1024, IntraModule::Sm, InterAlg::Binomial),
+            8
+        ));
+        assert!(!admit_seg(
+            &cfg(1 << 20, IntraModule::Sm, InterAlg::Binomial),
+            8
+        ));
     }
 
     #[test]
@@ -71,7 +83,7 @@ mod tests {
         let c = cfg(128 * 1024, IntraModule::Sm, InterAlg::Chain);
         assert!(!admit_chain(&c, 256 * 1024, 8)); // 2 segments
         assert!(admit_chain(&c, 1 << 20, 8)); // 8 segments
-        // Non-chain algorithms are never pruned by this rule.
+                                              // Non-chain algorithms are never pruned by this rule.
         let b = cfg(128 * 1024, IntraModule::Sm, InterAlg::Binomial);
         assert!(admit_chain(&b, 4, 64));
     }

@@ -26,8 +26,12 @@
 //! * [`table`] — the lookup table (tuning output) and the decision
 //!   function serving arbitrary inputs, implementing
 //!   [`han_core::ConfigSource`].
+//! * [`cache`] — a memo table for simulated task and collective costs,
+//!   shared across message sizes, collectives and strategies within a
+//!   run and optionally persisted for warm-started repeated runs.
 
 pub mod analytic;
+pub mod cache;
 pub mod calibrate;
 pub mod decision;
 pub mod heuristics;
@@ -37,8 +41,11 @@ pub mod space;
 pub mod table;
 pub mod taskbench;
 
+pub use cache::{preset_fingerprint, CostCache};
 pub use decision::DecisionTree;
-pub use search::{tune, Strategy, TuneResult};
+pub use search::{
+    achieved_latency, achieved_latency_with_cache, tune, tune_with_cache, Strategy, TuneResult,
+};
 pub use space::SearchSpace;
 pub use table::LookupTable;
 pub use taskbench::TaskBench;

@@ -71,8 +71,8 @@ pub fn predict(tb: &mut TaskBench, cfg: &HanConfig, coll: Coll, m: u64) -> Time 
 mod tests {
     use super::*;
     use han_colls::stack::{time_coll, Coll};
-    use han_machine::mini;
     use han_core::Han;
+    use han_machine::mini;
 
     #[test]
     fn bcast_sequence_matches_paper_tasks() {
@@ -90,8 +90,7 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "sr", "irsr", "ibirsr", "sbibirsr", "sbibirsr", "sbibirsr", "sbibir", "sbib",
-                "sb"
+                "sr", "irsr", "ibirsr", "sbibirsr", "sbibirsr", "sbibirsr", "sbibir", "sbib", "sb"
             ]
         );
         let names: Vec<_> = allreduce_sequence(1).iter().map(|s| s.name()).collect();
@@ -142,12 +141,7 @@ mod tests {
             actuals.push(act);
         }
         // Best-predicted config should be the best (or nearly best) actual.
-        let best_pred = preds
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, t)| **t)
-            .unwrap()
-            .0;
+        let best_pred = preds.iter().enumerate().min_by_key(|(_, t)| **t).unwrap().0;
         let best_act = actuals
             .iter()
             .enumerate()

@@ -13,6 +13,7 @@
 //! Tuning cost is measured in *virtual benchmark time* (what the cluster
 //! would spend) plus the run count; both are reported per strategy.
 
+use crate::cache::CostCache;
 use crate::model::predict;
 use crate::space::SearchSpace;
 use crate::table::LookupTable;
@@ -22,6 +23,8 @@ use han_colls::MpiStack;
 use han_core::{Han, HanConfig};
 use han_machine::{Machine, MachinePreset};
 use han_sim::Time;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Tuning strategy selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,11 +85,44 @@ pub fn tune(
     colls: &[Coll],
     strategy: Strategy,
 ) -> TuneResult {
+    tune_with_cache(preset, space, colls, strategy, None)
+}
+
+/// [`tune`], optionally memoizing simulated costs in a shared
+/// [`CostCache`]. Results (tables, samples, virtual tuning times) are
+/// identical with or without a cache — only host wall-clock differs.
+pub fn tune_with_cache(
+    preset: &MachinePreset,
+    space: &SearchSpace,
+    colls: &[Coll],
+    strategy: Strategy,
+    cache: Option<Arc<CostCache>>,
+) -> TuneResult {
     if strategy.task_based() {
-        tune_task_based(preset, space, colls, strategy)
+        tune_task_based(preset, space, colls, strategy, cache)
     } else {
-        tune_exhaustive(preset, space, colls, strategy)
+        tune_exhaustive(preset, space, colls, strategy, cache)
     }
+}
+
+/// Simulate (or recall) the latency of one HAN collective configuration.
+fn coll_cost(
+    machine: &mut Machine,
+    preset: &MachinePreset,
+    coll: Coll,
+    m: u64,
+    cfg: HanConfig,
+    cache: Option<&CostCache>,
+) -> Time {
+    if let Some(t) = cache.and_then(|c| c.lookup_coll(coll, &cfg, m)) {
+        return t;
+    }
+    let han = Han::with_config(cfg);
+    let t = time_coll_on(&han, machine, preset, coll, m, 0);
+    if let Some(c) = cache {
+        c.record_coll(coll, &cfg, m, t);
+    }
+    t
 }
 
 fn tune_exhaustive(
@@ -94,57 +130,71 @@ fn tune_exhaustive(
     space: &SearchSpace,
     colls: &[Coll],
     strategy: Strategy,
+    cache: Option<Arc<CostCache>>,
 ) -> TuneResult {
     let nodes = preset.topology.nodes();
     let mut table = LookupTable::new(nodes, preset.topology.ppn());
-    let mut samples = Vec::new();
     let mut tuning_time = Time::ZERO;
     let mut searches = 0u64;
 
-    // Parallelize across message sizes; each worker owns a machine.
-    let jobs: Vec<(Coll, u64)> = colls
-        .iter()
-        .flat_map(|&c| space.msg_sizes.iter().map(move |&m| (c, m)))
-        .collect();
+    // Enumerate every benchmark point up front in deterministic order.
+    // Parallelism is work-stealing over this flat job list: large message
+    // sizes cost orders of magnitude more than small ones, so static
+    // striping load-imbalances badly; an atomic cursor keeps every worker
+    // busy until the queue drains. Results are stored by job index, so the
+    // outcome is bit-identical to a sequential sweep regardless of worker
+    // count or completion order.
+    let mut jobs: Vec<(Coll, u64, HanConfig)> = Vec::new();
+    for &coll in colls {
+        for &m in &space.msg_sizes {
+            for cfg in space.configs(m, nodes, strategy.heuristic()) {
+                jobs.push((coll, m, cfg));
+            }
+        }
+    }
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .min(jobs.len().max(1));
-    let chunks: Vec<Vec<(Coll, u64)>> = (0..workers)
-        .map(|w| {
-            jobs.iter()
-                .enumerate()
-                .filter(|(i, _)| i % workers == w)
-                .map(|(_, j)| *j)
-                .collect()
-        })
-        .collect();
 
-    let results: Vec<Vec<(Coll, u64, HanConfig, Time)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
+    let next = AtomicUsize::new(0);
+    let mut costs: Vec<Time> = vec![Time::ZERO; jobs.len()];
+    std::thread::scope(|s| {
+        let jobs = &jobs;
+        let next = &next;
+        let cache = cache.as_deref();
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
                 s.spawn(move || {
+                    // One machine per worker, reset between jobs by the
+                    // executor — never rebuilt from the preset.
                     let mut machine = Machine::from_preset(preset);
-                    let mut out = Vec::new();
-                    for (coll, m) in chunk {
-                        for cfg in space.configs(m, nodes, strategy.heuristic()) {
-                            let han = Han::with_config(cfg);
-                            let t = time_coll_on(&han, &mut machine, preset, coll, m, 0);
-                            out.push((coll, m, cfg, t));
+                    let mut out: Vec<(usize, Time)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
                         }
+                        let (coll, m, cfg) = jobs[i];
+                        let t = coll_cost(&mut machine, preset, coll, m, cfg, cache);
+                        out.push((i, t));
                     }
                     out
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        for h in handles {
+            for (i, t) in h.join().unwrap() {
+                costs[i] = t;
+            }
+        }
     });
 
-    for r in results.into_iter().flatten() {
-        tuning_time += r.3 * BENCH_ITERS;
+    let mut samples = Vec::with_capacity(jobs.len());
+    for (&(coll, m, cfg), &t) in jobs.iter().zip(&costs) {
+        tuning_time += t * BENCH_ITERS;
         searches += 1;
-        samples.push(r);
+        samples.push((coll, m, cfg, t));
     }
 
     for &coll in colls {
@@ -173,10 +223,14 @@ fn tune_task_based(
     space: &SearchSpace,
     colls: &[Coll],
     strategy: Strategy,
+    cache: Option<Arc<CostCache>>,
 ) -> TuneResult {
     let nodes = preset.topology.nodes();
     let mut table = LookupTable::new(nodes, preset.topology.ppn());
     let mut tb = TaskBench::new(preset);
+    if let Some(cache) = cache {
+        tb = tb.with_shared_cache(cache);
+    }
     let mut samples = Vec::new();
 
     for &coll in colls {
@@ -207,20 +261,24 @@ fn tune_task_based(
 /// Measure the *achieved* collective latency of a tuned table: run the
 /// collective with the configuration the table selects (the red/green
 /// bars of Fig. 9).
-pub fn achieved_latency(
+pub fn achieved_latency(preset: &MachinePreset, table: &LookupTable, coll: Coll, m: u64) -> Time {
+    achieved_latency_with_cache(preset, table, coll, m, None)
+}
+
+/// [`achieved_latency`], optionally recalling the measurement from a
+/// shared [`CostCache`] instead of re-simulating it.
+pub fn achieved_latency_with_cache(
     preset: &MachinePreset,
     table: &LookupTable,
     coll: Coll,
     m: u64,
+    cache: Option<&CostCache>,
 ) -> Time {
-    let cfg = table
-        .nearest(coll, m)
-        .map(|e| e.cfg)
-        .unwrap_or_default();
+    let cfg = table.nearest(coll, m).map(|e| e.cfg).unwrap_or_default();
     let han = Han::with_config(cfg);
-    let mut machine = Machine::from_preset(preset);
     let _ = han.name();
-    time_coll_on(&han, &mut machine, preset, coll, m, 0)
+    let mut machine = Machine::from_preset(preset);
+    coll_cost(&mut machine, preset, coll, m, cfg, cache)
 }
 
 #[cfg(test)]
@@ -275,7 +333,11 @@ mod tests {
             let best = ex.table.get(Coll::Bcast, m).unwrap();
             let achieved = achieved_latency(&preset, &tk.table, Coll::Bcast, m);
             let optimal = achieved_latency(&preset, &ex.table, Coll::Bcast, m);
-            assert_eq!(Time::from_ps(best.cost_ps), optimal, "exhaustive is measured");
+            assert_eq!(
+                Time::from_ps(best.cost_ps),
+                optimal,
+                "exhaustive is measured"
+            );
             assert!(
                 achieved.as_ps() as f64 <= optimal.as_ps() as f64 * 1.25,
                 "m={m}: task-based pick {achieved} vs optimal {optimal}"
@@ -289,7 +351,12 @@ mod tests {
         let mut space = tiny_space();
         space.intra = vec![han_colls::IntraModule::Sm, han_colls::IntraModule::Solo];
         let plain = tune(&preset, &space, &[Coll::Bcast], Strategy::Exhaustive);
-        let heur = tune(&preset, &space, &[Coll::Bcast], Strategy::ExhaustiveHeuristic);
+        let heur = tune(
+            &preset,
+            &space,
+            &[Coll::Bcast],
+            Strategy::ExhaustiveHeuristic,
+        );
         assert!(heur.searches < plain.searches);
         assert!(heur.tuning_time < plain.tuning_time);
     }

@@ -69,9 +69,7 @@ impl LookupTable {
             .min_by(|a, b| {
                 let da = ((a.m.max(1) as f64).log2() - lm).abs();
                 let db = ((b.m.max(1) as f64).log2() - lm).abs();
-                da.partial_cmp(&db)
-                    .unwrap()
-                    .then_with(|| a.m.cmp(&b.m))
+                da.partial_cmp(&db).unwrap().then_with(|| a.m.cmp(&b.m))
             })
     }
 
@@ -103,15 +101,14 @@ impl LookupTable {
 
     pub fn load(path: &Path) -> std::io::Result<Self> {
         let s = std::fs::read_to_string(path)?;
-        serde_json::from_str(&s).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        serde_json::from_str(&s)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 
 impl ConfigSource for LookupTable {
     fn config(&self, coll: Coll, _nodes: usize, _ppn: usize, bytes: u64) -> HanConfig {
-        self.nearest(coll, bytes)
-            .map(|e| e.cfg)
-            .unwrap_or_default()
+        self.nearest(coll, bytes).map(|e| e.cfg).unwrap_or_default()
     }
 }
 

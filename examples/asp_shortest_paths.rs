@@ -30,7 +30,10 @@ fn main() {
     let han = Han::with_config(HanConfig::default().with_fs(32));
     let parallel = asp_verify(&han, &preset, n, &w);
     let sequential = floyd_warshall(n, &w);
-    assert_eq!(parallel, sequential, "parallel ASP must match Floyd-Warshall");
+    assert_eq!(
+        parallel, sequential,
+        "parallel ASP must match Floyd-Warshall"
+    );
     println!("correctness: parallel ASP == sequential Floyd-Warshall on {n} vertices\n");
 
     // --- performance: comm/compute breakdown per MPI stack.
@@ -51,10 +54,8 @@ fn main() {
         "stack", "total", "comm", "comm %", "speedup"
     );
     let han = Han::with_config(HanConfig::default().with_fs(16 * 1024));
-    let stacks: Vec<(&str, &dyn MpiStack)> = vec![
-        ("HAN", &han),
-        ("default Open MPI", &TunedOpenMpi),
-    ];
+    let stacks: Vec<(&str, &dyn MpiStack)> =
+        vec![("HAN", &han), ("default Open MPI", &TunedOpenMpi)];
     let mut base_total = None;
     for (name, stack) in stacks {
         let rep = run_asp(stack, &preset, &cfg);

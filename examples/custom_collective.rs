@@ -10,6 +10,9 @@
 //! cargo run --release --example custom_collective
 //! ```
 
+// Verification loops index several per-rank buffers by rank on purpose.
+#![allow(clippy::needless_range_loop)]
+
 use han::colls::stack::BuildCtx;
 use han::core::bcast::build_bcast;
 use han::core::extend::build_reduce;

@@ -21,8 +21,10 @@ fn main() {
         time_per_image: Time::from_ms(40),
         batch_per_rank: 4,
     };
-    println!("gradient {}B, fusion {}B, {} images/rank/step\n",
-        hv.grad_bytes, hv.fusion_bytes, hv.batch_per_rank);
+    println!(
+        "gradient {}B, fusion {}B, {} images/rank/step\n",
+        hv.grad_bytes, hv.fusion_bytes, hv.batch_per_rank
+    );
     println!(
         "{:>7}  {:>12}  {:>12}  {:>9}",
         "procs", "HAN img/s", "tuned img/s", "HAN gain"
@@ -32,7 +34,9 @@ fn main() {
         let preset = mini(nodes, 8);
         // Autotune HAN's allreduce for this scale.
         let mut space = SearchSpace::standard();
-        space.msg_sizes.retain(|&m| m >= 1 << 20 && m <= hv.fusion_bytes);
+        space
+            .msg_sizes
+            .retain(|&m| m >= 1 << 20 && m <= hv.fusion_bytes);
         let tuned = tune(
             &preset,
             &space,

@@ -22,7 +22,10 @@ fn main() {
     // 1. Compare a fixed HAN configuration against default Open MPI.
     let cfg = HanConfig::default().with_fs(128 * 1024);
     println!("HAN configuration: {cfg}\n");
-    println!("{:>8}  {:>12}  {:>12}  {:>7}", "size", "HAN", "tuned OMPI", "speedup");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>7}",
+        "size", "HAN", "tuned OMPI", "speedup"
+    );
     for bytes in [4 * 1024u64, 64 * 1024, 1 << 20, 16 << 20] {
         let t_han = time_coll(&Han::with_config(cfg), &preset, Coll::Bcast, bytes, 0);
         let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, bytes, 0);

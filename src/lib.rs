@@ -47,7 +47,7 @@ pub mod prelude {
         self as machine, mini, shaheen2, shaheen2_ppn, stampede2, stampede2_ppn, Flavor, Machine,
         MachinePreset, Topology,
     };
-    pub use han_mpi::{Comm, DataType, ExecOpts, ProgramBuilder, ReduceOp};
+    pub use han_mpi::{Comm, DataType, ExecMode, ExecOpts, ProgramBuilder, ReduceOp};
     pub use han_sim::Time;
     pub use han_tuner::{tune, LookupTable, SearchSpace, Strategy, TaskBench};
 }

@@ -5,6 +5,9 @@
 //! stay correct under arbitrary per-rank start skews, and their cost must
 //! degrade gracefully (bounded by the skew, since the DAG just waits).
 
+// Verification loops index several per-rank buffers by rank on purpose.
+#![allow(clippy::needless_range_loop)]
+
 use han::colls::stack::build_coll;
 use han::mpi::{execute, execute_seeded, BufRange};
 use han::prelude::*;
@@ -25,8 +28,8 @@ fn bcast_correct_under_arrival_imbalance() {
     let buf = BufRange::new(0, 50_000);
     let payload: Vec<u8> = (0..50_000u64).map(|i| (i % 241) as u8).collect();
     for seed in [1, 2, 3] {
-        let opts = ExecOpts::with_data(Flavor::OpenMpi.p2p())
-            .with_skew(skewed_starts(n, 500, seed));
+        let opts =
+            ExecOpts::with_data(Flavor::OpenMpi.p2p()).with_skew(skewed_starts(n, 500, seed));
         let (_, mem) = execute_seeded(&mut m, &prog, &opts, |mm| mm.write(0, buf, &payload));
         for r in 0..n {
             assert_eq!(mem.read(r, buf), payload.as_slice(), "seed {seed} rank {r}");
@@ -57,12 +60,13 @@ fn allreduce_correct_under_arrival_imbalance() {
     );
     let prog = b.build();
     let mut m = Machine::from_preset(&preset);
-    let opts =
-        ExecOpts::with_data(Flavor::OpenMpi.p2p()).with_skew(skewed_starts(n, 1_000, 99));
+    let opts = ExecOpts::with_data(Flavor::OpenMpi.p2p()).with_skew(skewed_starts(n, 1_000, 99));
     let bufs2 = bufs.clone();
     let (_, mem) = execute_seeded(&mut m, &prog, &opts, |mm| {
         for r in 0..n {
-            let vals: Vec<u8> = (0..256).flat_map(|i| ((r * 3 + i) as i32).to_le_bytes()).collect();
+            let vals: Vec<u8> = (0..256)
+                .flat_map(|i| ((r * 3 + i) as i32).to_le_bytes())
+                .collect();
             mm.write(r, bufs2[r], &vals);
         }
     });
@@ -89,12 +93,7 @@ fn skew_degrades_cost_boundedly() {
     let balanced = execute(&mut m, &prog, &opts).makespan;
     let max_skew = Time::from_ms(2);
     let skews = skewed_starts(9, 2_000, 7);
-    let skewed = execute(
-        &mut m,
-        &prog,
-        &opts.clone().with_skew(skews.clone()),
-    )
-    .makespan;
+    let skewed = execute(&mut m, &prog, &opts.clone().with_skew(skews.clone())).makespan;
     assert!(skewed >= *skews.iter().max().unwrap());
     assert!(
         skewed <= balanced + max_skew,

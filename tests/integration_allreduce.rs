@@ -2,6 +2,9 @@
 //! correctness for allreduce/reduce across every stack and HAN config, and
 //! the paper's qualitative performance relationships.
 
+// Verification loops index several per-rank buffers by rank on purpose.
+#![allow(clippy::needless_range_loop)]
+
 use han::colls::stack::build_coll;
 use han::mpi::{execute_seeded, BufRange};
 use han::prelude::*;
@@ -116,7 +119,12 @@ fn reduce_gather_scatter_allgather_through_han() {
         },
     );
     let expect: Vec<i32> = (0..16)
-        .map(|i| (0..n).map(|r| ((r as i32 * 7 + i) % 31) - 15).max().unwrap())
+        .map(|i| {
+            (0..n)
+                .map(|r| ((r as i32 * 7 + i) % 31) - 15)
+                .max()
+                .unwrap()
+        })
         .collect();
     assert_eq!(from_i32(mem.read(4, bufs[4])), expect, "reduce to root 4");
 
@@ -145,7 +153,11 @@ fn reduce_gather_scatter_allgather_through_han() {
         },
     );
     for r in 0..n {
-        assert_eq!(mem.read(r, dst[r]), &[(r * 3) as u8; 8], "roundtrip rank {r}");
+        assert_eq!(
+            mem.read(r, dst[r]),
+            &[(r * 3) as u8; 8],
+            "roundtrip rank {r}"
+        );
     }
 
     // Allgather
@@ -173,7 +185,11 @@ fn reduce_gather_scatter_allgather_through_han() {
     );
     let expect: Vec<u8> = (0..n).flat_map(|r| [(r + 10) as u8; 8]).collect();
     for r in 0..n {
-        assert_eq!(mem.read(r, bufs[r]), expect.as_slice(), "allgather rank {r}");
+        assert_eq!(
+            mem.read(r, bufs[r]),
+            expect.as_slice(),
+            "allgather rank {r}"
+        );
     }
 }
 
@@ -207,7 +223,9 @@ fn allreduce_large_message_han_wins() {
         .into_iter()
         .map(|fs| {
             let han = Han::with_config(
-                HanConfig::default().with_fs(fs).with_intra(IntraModule::Solo),
+                HanConfig::default()
+                    .with_fs(fs)
+                    .with_intra(IntraModule::Solo),
             );
             time_coll(&han, &preset, Coll::Allreduce, bytes, 0)
         })

@@ -2,9 +2,9 @@
 //! data on every machine shape, and the performance relationships the
 //! paper reports hold at mini scale.
 
-use han::prelude::*;
 use han::colls::stack::build_coll;
 use han::mpi::{execute_seeded, BufRange};
+use han::prelude::*;
 
 fn check_bcast_delivery(stack: &dyn MpiStack, nodes: usize, ppn: usize, bytes: u64, root: usize) {
     let preset = mini(nodes, ppn);
@@ -73,10 +73,7 @@ fn han_beats_tuned_across_the_size_range() {
         let han = Han::with_config(HanConfig::default().with_fs(fs).with_intra(smod));
         let t_han = time_coll(&han, &preset, Coll::Bcast, bytes, 0);
         let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, bytes, 0);
-        assert!(
-            t_han < t_tuned,
-            "{bytes}B: HAN {t_han} vs tuned {t_tuned}"
-        );
+        assert!(t_han < t_tuned, "{bytes}B: HAN {t_han} vs tuned {t_tuned}");
     }
 }
 

@@ -105,7 +105,10 @@ fn exhaustive_and_task_based_agree_on_winners() {
         ex_total += best.as_secs_f64();
         tk_total += got.as_secs_f64();
     }
-    assert!(tk_total <= ex_total * 1.10, "{tk_total:.6} vs {ex_total:.6}");
+    assert!(
+        tk_total <= ex_total * 1.10,
+        "{tk_total:.6} vs {ex_total:.6}"
+    );
 }
 
 #[test]
@@ -113,7 +116,12 @@ fn heuristic_tuning_is_cheaper_but_no_better() {
     let preset = mini(4, 4);
     let space = test_space();
     let plain = tune(&preset, &space, &[Coll::Bcast], Strategy::TaskBased);
-    let heur = tune(&preset, &space, &[Coll::Bcast], Strategy::TaskBasedHeuristic);
+    let heur = tune(
+        &preset,
+        &space,
+        &[Coll::Bcast],
+        Strategy::TaskBasedHeuristic,
+    );
     assert!(heur.tuning_time <= plain.tuning_time);
     assert!(heur.searches <= plain.searches);
 }

@@ -4,9 +4,15 @@
 //! always (a) deliver/reduce correct data, (b) be deterministic, and
 //! (c) respect basic cost monotonicities.
 
+// Verification loops index several per-rank buffers by rank on purpose.
+#![allow(clippy::needless_range_loop)]
+
 use han::colls::stack::build_coll;
 use han::mpi::{execute_seeded, BufRange};
-use han::prelude::{mini, time_coll, Coll, Comm, DataType, ExecOpts, Flavor, Frontier, Han, HanConfig, InterAlg, InterModule, IntraModule, Machine, MpiStack, ProgramBuilder, ReduceOp, TunedOpenMpi};
+use han::prelude::{
+    mini, time_coll, Coll, Comm, DataType, ExecOpts, Flavor, Frontier, Han, HanConfig, InterAlg,
+    InterModule, IntraModule, Machine, MpiStack, ProgramBuilder, ReduceOp, TunedOpenMpi,
+};
 use proptest::prelude::*;
 
 fn arb_config() -> impl proptest::strategy::Strategy<Value = HanConfig> {

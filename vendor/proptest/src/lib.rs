@@ -1,0 +1,169 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Property tests run against deterministic pseudo-random inputs: each
+//! `proptest!` test derives its RNG seed from the test function's name, so
+//! every run (and every CI machine) sees the same cases. There is **no
+//! shrinking** — a failing case panics with the sampled inputs' debug
+//! representation via the ordinary `assert!` machinery — and no failure
+//! persistence. The [`strategy::Strategy`] combinators cover the subset
+//! this workspace uses: ranges, `Just`, `any`, `prop_map`, `prop_filter`,
+//! `prop_filter_map`, `prop_oneof!`, tuples, and `collection::vec`.
+
+pub mod strategy;
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Per-test RNG, seeded from the test name for determinism.
+    pub struct TestRng(pub(crate) SmallRng);
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(SmallRng::seed_from_u64(h))
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Number-of-elements specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                rng.0.random_range(self.size.lo..=self.size.hi)
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are sampled from
+/// strategies. Supports an optional `#![proptest_config(...)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $($(#[$attr:meta])* fn $name:ident ($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Union of heterogeneous strategies with a common `Value`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,252 @@
+//! Strategies: samplers over a value domain.
+//!
+//! Unlike real proptest there is no value tree and no shrinking — a
+//! strategy is just a deterministic-RNG sampler. Combinators mirror the
+//! upstream names so test code is source-compatible.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    fn prop_filter_map<U, F>(self, whence: impl Into<String>, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = Rc::new(self);
+        BoxedStrategy {
+            sample: Rc::new(move |rng| inner.sample(rng)),
+        }
+    }
+}
+
+/// How many times filtering strategies retry before giving up.
+const MAX_FILTER_RETRIES: usize = 10_000;
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_FILTER_RETRIES {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}`: rejection budget exhausted", self.whence);
+    }
+}
+
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        for _ in 0..MAX_FILTER_RETRIES {
+            if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter_map `{}`: rejection budget exhausted",
+            self.whence
+        );
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Type-erased strategy (`Rc`-shared, so `prop_oneof!` arms can be mixed).
+pub struct BoxedStrategy<T> {
+    sample: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sample: Rc::clone(&self.sample),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+/// Uniform choice among alternatives (the `prop_oneof!` backend).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.0.random_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+/// `any::<T>()`: the full domain of `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub trait Arbitrary {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+pub struct AnyStrategy<T> {
+    sample: fn(&mut TestRng) -> T,
+}
+
+impl<T> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+macro_rules! arbitrary_via_random {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy { sample: |rng| rng.0.random() }
+            }
+        }
+    )*};
+}
+arbitrary_via_random!(bool, u32, u64, usize, f64);
+
+impl Arbitrary for u8 {
+    type Strategy = AnyStrategy<u8>;
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy {
+            sample: |rng| rng.0.random::<u32>() as u8,
+        }
+    }
+}
+
+impl Arbitrary for u16 {
+    type Strategy = AnyStrategy<u16>;
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy {
+            sample: |rng| rng.0.random::<u32>() as u16,
+        }
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u32, u64, usize, i32, i64, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}

@@ -1,0 +1,323 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this environment, so the
+//! workspace vendors a minimal serde data model (`vendor/serde`) built
+//! around a JSON-like [`Value`] enum, and this proc-macro derives its two
+//! traits. It parses the item token stream by hand (no `syn`/`quote`) and
+//! supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields        -> `Value::Map` keyed by field name
+//! * tuple structs with one field     -> transparent newtype (inner value)
+//! * tuple structs with N > 1 fields  -> `Value::Seq`
+//! * enums with only unit variants    -> `Value::Str(variant name)`
+//!
+//! Anything else (generics, data-carrying enum variants) produces a
+//! `compile_error!` naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Unit variants, in declaration order.
+    Enum(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => render(&name, &shape, mode).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (doc comments arrive as `#[doc = ...]`) and
+    // visibility qualifiers.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    i += 1;
+                }
+                i += 1; // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1; // pub(crate) etc.
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stub derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stub derive: expected type name".into()),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive: generic type `{name}` is not supported"
+        ));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        _ => {
+            return Err(format!(
+                "serde stub derive: `{name}` has no body (unit structs unsupported)"
+            ))
+        }
+    };
+
+    match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => {
+            Ok((name, Shape::Struct(parse_named_fields(body.stream())?)))
+        }
+        ("struct", Delimiter::Parenthesis) => {
+            Ok((name, Shape::Tuple(count_tuple_fields(body.stream()))))
+        }
+        ("enum", Delimiter::Brace) => {
+            let variants = parse_unit_variants(body.stream(), &name)?;
+            Ok((name, Shape::Enum(variants)))
+        }
+        _ => Err(format!("serde stub derive: unsupported shape for `{name}`")),
+    }
+}
+
+/// Field names of a `{ ... }` struct body. Commas inside `<...>` type
+/// arguments appear at the top level of the token stream, so angle-bracket
+/// depth is tracked to find real field boundaries.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip per-field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err("serde stub derive: expected `:` after field name".into()),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for t in body {
+        any = true;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_unit_variants(body: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2; // attribute
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        variants.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde stub derive: enum `{name}` has a data-carrying variant \
+                     `{}`, only unit variants are supported",
+                    variants.last().unwrap()
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the next comma.
+                while i < tokens.len()
+                    && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+                {
+                    i += 1;
+                }
+                i += 1;
+            }
+            _ => return Err(format!("serde stub derive: malformed enum `{name}`")),
+        }
+    }
+    Ok(variants)
+}
+
+fn render(name: &str, shape: &Shape, mode: Mode) -> String {
+    match mode {
+        Mode::Serialize => render_serialize(name, shape),
+        Mode::Deserialize => render_deserialize(name, shape),
+    }
+}
+
+fn render_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Map(__m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let mut s = String::from(
+                "let mut __s: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "__s.push(::serde::Serialize::to_value(&self.{i}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Seq(__s)");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut s = String::from("::serde::Value::Str(match self {\n");
+            for v in variants {
+                s.push_str(&format!("{name}::{v} => {v:?}.to_string(),\n"));
+            }
+            s.push_str("})");
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn render_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from("match __v {\n::serde::Value::Map(__m) => Ok(Self {\n");
+            for f in fields {
+                s.push_str(&format!("{f}: ::serde::__field(__m, {f:?})?,\n"));
+            }
+            s.push_str(&format!(
+                "}}),\n_ => Err(::serde::Error::custom(concat!(\"expected map for struct \", \
+                 stringify!({name})))),\n}}"
+            ));
+            s
+        }
+        Shape::Tuple(1) => "Ok(Self(::serde::Deserialize::from_value(__v)?))".to_string(),
+        Shape::Tuple(n) => {
+            let mut s =
+                format!("match __v {{\n::serde::Value::Seq(__s) if __s.len() == {n} => Ok(Self(\n");
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Deserialize::from_value(&__s[{i}])?,\n"));
+            }
+            s.push_str(&format!(
+                ")),\n_ => Err(::serde::Error::custom(concat!(\"expected seq for tuple struct \", \
+                 stringify!({name})))),\n}}"
+            ));
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut s =
+                String::from("match __v {\n::serde::Value::Str(__s) => match __s.as_str() {\n");
+            for v in variants {
+                s.push_str(&format!("{v:?} => Ok({name}::{v}),\n"));
+            }
+            s.push_str(&format!(
+                "__other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` for enum {name}\"))),\n}},\n\
+                 _ => Err(::serde::Error::custom(concat!(\"expected string for enum \", \
+                 stringify!({name})))),\n}}"
+            ));
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{\n{body}\n}}\n}}\n"
+    )
+}
