@@ -82,7 +82,7 @@ pub fn run_asp(stack: &dyn MpiStack, preset: &MachinePreset, cfg: &AspConfig) ->
     // as the root process once").
     for k in 0..iters {
         let root = k % world;
-        let prog = build_coll(stack, preset, Coll::Bcast, row_bytes, root);
+        let prog = build_coll(stack, preset, Coll::Bcast, row_bytes, root).expect("bcast");
         comm += execute(&mut machine, &prog, &opts).makespan;
     }
     let compute = per_iter_compute * iters as u64;
@@ -142,7 +142,7 @@ pub fn asp_verify(
     let row_bytes = (n * 4) as u64;
     for k in 0..n {
         let owner = k / rows_per_rank;
-        let prog = build_coll(stack, preset, Coll::Bcast, row_bytes, owner);
+        let prog = build_coll(stack, preset, Coll::Bcast, row_bytes, owner).expect("bcast");
         let opts = ExecOpts::with_data(stack.flavor().p2p());
         // The collective's buffers start at offset 0 on every rank.
         let buf = han_mpi::BufRange::new(0, row_bytes);

@@ -66,7 +66,7 @@ pub fn run_horovod(
     let mut remaining = cfg.grad_bytes;
     while remaining > 0 {
         let chunk = remaining.min(cfg.fusion_bytes);
-        let prog = build_coll(stack, preset, Coll::Allreduce, chunk, 0);
+        let prog = build_coll(stack, preset, Coll::Allreduce, chunk, 0).expect("allreduce");
         comm_time += execute(&mut machine, &prog, &opts).makespan;
         remaining -= chunk;
     }

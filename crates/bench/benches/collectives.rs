@@ -84,7 +84,7 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_function("build_bcast_4M", |b| {
         b.iter(|| black_box(build_coll(&han, &preset, Coll::Bcast, 4 << 20, 0)))
     });
-    let prog = build_coll(&han, &preset, Coll::Bcast, 4 << 20, 0);
+    let prog = build_coll(&han, &preset, Coll::Bcast, 4 << 20, 0).expect("bcast");
     let mut machine = Machine::from_preset(&preset);
     let opts = ExecOpts::timing(han_machine::Flavor::OpenMpi.p2p());
     group.throughput(criterion::Throughput::Elements(prog.len() as u64));

@@ -31,7 +31,7 @@ fn bench_sweep(c: &mut Criterion) {
 
     // Execution modes: one 4 MB bcast, payload-free vs full data movement.
     let han = Han::with_config(HanConfig::default().with_fs(256 * 1024));
-    let prog = build_coll(&han, &preset, Coll::Bcast, 4 << 20, 0);
+    let prog = build_coll(&han, &preset, Coll::Bcast, 4 << 20, 0).expect("bcast");
     let p2p = han.flavor().p2p();
     let mut machine = Machine::from_preset(&preset);
     group.bench_function("exec_timing_only_4M", |b| {
@@ -96,7 +96,7 @@ fn write_summary() {
     let colls = [Coll::Bcast, Coll::Allreduce];
 
     let han = Han::with_config(HanConfig::default().with_fs(256 * 1024));
-    let prog = build_coll(&han, &preset, Coll::Bcast, 4 << 20, 0);
+    let prog = build_coll(&han, &preset, Coll::Bcast, 4 << 20, 0).expect("bcast");
     let p2p = han.flavor().p2p();
     let mut machine = Machine::from_preset(&preset);
     let full = best_secs(5, || {

@@ -48,7 +48,7 @@ fn bench_tuning_probes(c: &mut Criterion) {
     // Model prediction with a warm cache: this is what scanning a new
     // message size costs the task-based tuner — effectively nothing.
     let mut tb = TaskBench::new(&preset);
-    han_tuner::model::predict(&mut tb, &cfg, Coll::Bcast, 4 << 20);
+    han_tuner::model::predict(&mut tb, &cfg, Coll::Bcast, 4 << 20).expect("modelled");
     group.bench_function("model_predict_cached", |b| {
         b.iter(|| {
             black_box(han_tuner::model::predict(

@@ -5,17 +5,22 @@
 //!        [--stack han|tuned|cray|intel|mvapich2] [--fs 524288]
 //!        [--smod sm|solo] [--imod libnbc|adapt] [--alg chain|binary|binomial]
 //!        [--machine shaheen2|stampede2|mini] [--trace out.json]
-//!        [--mode timing|full]
+//!        [--mode timing|full] [--levels 8,2,4]
 //! ```
 //!
 //! Prints the virtual latency (and per-stack comparison when `--stack all`),
 //! optionally dumping a Chrome trace of the execution for inspection in
-//! `chrome://tracing` / Perfetto.
+//! `chrome://tracing` / Perfetto. A stack that does not implement the
+//! requested collective is reported as `unsupported` and skipped.
+//!
+//! `--levels` replaces the `--nodes`/`--ppn` pair with an explicit
+//! level-extent vector, outermost first — e.g. `--levels 8,2,4` simulates
+//! 8 nodes of 2 sockets × 4 ranks, with a cross-socket bus derating.
 
 use han_colls::stack::{build_coll, Coll, MpiStack};
 use han_colls::{InterAlg, InterModule, IntraModule, TunedOpenMpi, VendorMpi};
 use han_core::{Han, HanConfig};
-use han_machine::{mini, shaheen2_ppn, stampede2_ppn, Machine, MachinePreset};
+use han_machine::{mini, shaheen2_ppn, stampede2_ppn, Machine, MachinePreset, Topology};
 use han_mpi::{trace_execution, ExecMode, ExecOpts};
 
 fn parse_args() -> std::collections::HashMap<String, String> {
@@ -67,11 +72,28 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let preset: MachinePreset = match get("machine", "mini").as_str() {
+    let mut preset: MachinePreset = match get("machine", "mini").as_str() {
         "shaheen2" => shaheen2_ppn(nodes, ppn),
         "stampede2" => stampede2_ppn(nodes, ppn),
         _ => mini(nodes, ppn),
     };
+    if let Some(spec) = args.get("levels") {
+        let extents: Vec<usize> = spec
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("--levels expects comma-separated extents, got '{spec}'");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        preset.topology = Topology::from_levels(&extents);
+        if preset.topology.depth() > 2 && preset.node.xsocket_bus_factor <= 1.0 {
+            // Make the extra level observable: cross-domain transfers pay
+            // a QPI-like derating unless the preset already sets one.
+            preset.node.xsocket_bus_factor = 1.5;
+        }
+    }
 
     let mut cfg = HanConfig::default();
     if let Some(fs) = args.get("fs") {
@@ -118,18 +140,23 @@ fn main() {
     };
 
     println!(
-        "{} on {} ({} nodes x {} ppn = {} ranks), {} bytes",
+        "{} on {} (levels {:?} = {} ranks), {} bytes",
         coll.name(),
         preset.name,
-        nodes,
-        ppn,
-        nodes * ppn,
+        preset.topology.levels(),
+        preset.topology.world_size(),
         bytes
     );
     println!("HAN config: {cfg}\n");
     for name in names {
         let stack = stack_by_name(name, cfg);
-        let prog = build_coll(stack.as_ref(), &preset, coll, bytes, 0);
+        let prog = match build_coll(stack.as_ref(), &preset, coll, bytes, 0) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{:>18}: unsupported ({e})", stack.name());
+                continue;
+            }
+        };
         let mut machine = Machine::from_preset(&preset);
         let opts = ExecOpts::with_mode(stack.flavor().p2p(), mode);
         let (report, trace) = trace_execution(&mut machine, &prog, &opts);

@@ -17,6 +17,12 @@
 //! invocations warm-start; `--cache off` disables memoization. Virtual
 //! times are identical in all three modes — only wall-clock changes.
 //!
+//! `--levels 3` runs every experiment on the three-level (socketized)
+//! forms of the machines — `[nodes, sockets, cores]` with a cross-socket
+//! bus derating — instead of the paper's flat two-level shapes. The
+//! hierarchy actually in use is reported up front via
+//! [`han_machine::MachinePreset::level_links`].
+//!
 //! All timings are **virtual (simulated) seconds**; the goal is shape
 //! fidelity (who wins, by what factor, where the crossovers are), not the
 //! testbeds' absolute microseconds. See `EXPERIMENTS.md`.
@@ -27,7 +33,7 @@ use han_colls::stack::{time_coll, time_coll_on, Coll, MpiStack};
 use han_colls::{InterAlg, InterModule, IntraModule, TunedOpenMpi, VendorMpi};
 use han_core::task::TaskSpec;
 use han_core::{Han, HanConfig};
-use han_machine::{shaheen2_ppn, stampede2_ppn, Flavor, Machine, MachinePreset};
+use han_machine::{shaheen2_ppn, socketize, stampede2_ppn, Flavor, Machine, MachinePreset};
 use han_sim::{Summary, Time};
 use han_tuner::{tune, tune_with_cache, CostCache, LookupTable, SearchSpace, Strategy, TaskBench};
 use std::sync::Arc;
@@ -54,6 +60,9 @@ const CACHE_DIR: &str = "results/cache";
 struct Cfg {
     scale: Scale,
     cache: CacheMode,
+    /// Hierarchy depth: 2 = the paper's flat node/rank machines, 3 = the
+    /// socketized `[nodes, sockets, cores]` forms.
+    levels: usize,
 }
 
 impl Cfg {
@@ -78,25 +87,35 @@ impl Cfg {
         }
     }
 
+    /// Expose a preset at the requested hierarchy depth: depth 2 returns
+    /// it untouched; depth 3 splits each node into two shared-memory
+    /// domains with a QPI-like cross-socket derating.
+    fn deepen(&self, m: MachinePreset) -> MachinePreset {
+        match self.levels {
+            3 => socketize(m, 2, 1.6),
+            _ => m,
+        }
+    }
+
     fn shaheen(&self) -> MachinePreset {
-        match self.scale {
+        self.deepen(match self.scale {
             Scale::Paper => shaheen2_ppn(128, 32), // 4096 procs (Figs. 10/13)
             Scale::Mini => shaheen2_ppn(8, 8),
-        }
+        })
     }
 
     fn stampede(&self) -> MachinePreset {
-        match self.scale {
+        self.deepen(match self.scale {
             Scale::Paper => stampede2_ppn(32, 48), // 1536 procs (Figs. 12/14)
             Scale::Mini => stampede2_ppn(4, 8),
-        }
+        })
     }
 
     fn tuning(&self) -> MachinePreset {
-        match self.scale {
+        self.deepen(match self.scale {
             Scale::Paper => shaheen2_ppn(64, 12), // Figs. 4/8/9
             Scale::Mini => shaheen2_ppn(8, 4),
-        }
+        })
     }
 
     fn max_msg(&self) -> u64 {
@@ -133,6 +152,7 @@ fn combo_cfg(imod: InterModule, alg: InterAlg, smod: IntraModule, fs: u64) -> Ha
         iralg: alg,
         ibs: None,
         irs: None,
+        deep: [None; han_core::MAX_DEEP],
     }
 }
 
@@ -141,13 +161,20 @@ fn combo_cfg(imod: InterModule, alg: InterAlg, smod: IntraModule, fs: u64) -> Ha
 /// always cover both collectives over the full 4 B – 128 MB range so the
 /// cache is valid for every figure that shares the machine.
 fn tuned_table(preset: &MachinePreset, label: &str) -> LookupTable {
-    let path = std::path::Path::new("results").join(format!("table_{label}.json"));
+    // Three-level machines tune to their own table files; two-level paths
+    // are unchanged so existing caches stay warm.
+    let file = if preset.topology.depth() > 2 {
+        format!("table_{label}_d{}.json", preset.topology.depth())
+    } else {
+        format!("table_{label}.json")
+    };
+    let path = std::path::Path::new("results").join(file);
     let colls = [Coll::Bcast, Coll::Allreduce];
     if let Ok(t) = LookupTable::load(&path) {
         let complete = colls
             .iter()
             .all(|&c| t.sampled_sizes(c).last().copied().unwrap_or(0) >= 128 << 20);
-        if t.nodes == preset.topology.nodes() && t.ppn == preset.topology.ppn() && complete {
+        if t.levels == preset.topology.levels() && complete {
             return t;
         }
     }
@@ -258,9 +285,9 @@ fn model_validation(cfg: &Cfg, coll: Coll, fig: &str) {
             let mut t = Table::new(&["fs", "estimated", "actual", "err%"]);
             for &fs in &seg_sizes {
                 let hc = combo_cfg(imod, alg, smod, fs);
-                let est = han_tuner::model::predict(&mut tb, &hc, coll, m);
+                let est = han_tuner::model::predict(&mut tb, &hc, coll, m).expect("modelled coll");
                 let han = Han::with_config(hc);
-                let act = time_coll_on(&han, &mut machine, &preset, coll, m, 0);
+                let act = time_coll_on(&han, &mut machine, &preset, coll, m, 0).expect("supported");
                 let err = 100.0 * (est.as_ps() as f64 - act.as_ps() as f64) / act.as_ps() as f64;
                 t.row(vec![size_label(fs), us(est), us(act), format!("{err:+.1}")]);
                 if best_est.map(|(b, _)| est < b).unwrap_or(true) {
@@ -285,7 +312,7 @@ fn model_validation(cfg: &Cfg, coll: Coll, fig: &str) {
     println!("best estimated config: {ce}");
     println!("best actual    config: {ca}  ({})", us(ta));
     let han_est = Han::with_config(ce);
-    let achieved = time_coll_on(&han_est, &mut machine, &preset, coll, m, 0);
+    let achieved = time_coll_on(&han_est, &mut machine, &preset, coll, m, 0).expect("supported");
     println!(
         "model-picked config achieves {} = {:.1}% of true optimum\n",
         us(achieved),
@@ -382,6 +409,11 @@ fn fig8(cfg: &Cfg) -> ([han_tuner::TuneResult; 4], Option<Arc<CostCache>>) {
         ));
     }
     println!("{}", t.render());
+    for r in &results {
+        for s in &r.skipped {
+            println!("[skipped] {} ({})", s, r.strategy.name());
+        }
+    }
     if let Some(c) = &cache {
         let s = c.stats();
         println!(
@@ -430,6 +462,7 @@ fn fig9(cfg: &Cfg) {
                     m,
                     cache.as_deref(),
                 )
+                .expect("tuned collectives are supported")
             };
             t.row(vec![
                 size_label(m),
@@ -475,7 +508,11 @@ fn imb_figure(
     let mut t = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
     for row in &rows {
         let mut cells = vec![size_label(row.bytes)];
-        cells.extend(row.results.iter().map(|(_, time)| us(*time)));
+        cells.extend(
+            row.results
+                .iter()
+                .map(|(_, time)| time.map(us).unwrap_or_else(|| "n/a".to_string())),
+        );
         t.row(cells);
     }
     println!("{}", t.render());
@@ -505,7 +542,7 @@ fn imb_figure(
                 r.bytes,
                 r.results
                     .iter()
-                    .map(|(n, t)| (n.clone(), t.as_ps()))
+                    .filter_map(|(n, t)| t.map(|t| (n.clone(), t.as_ps())))
                     .collect(),
             )
         })
@@ -718,8 +755,8 @@ fn ablation_pipeline(cfg: &Cfg) {
         let han = Han::with_config(hc);
         t.row(vec![
             size_label(fs),
-            us(time_coll(&han, &preset, Coll::Bcast, m, 0)),
-            us(time_coll(&han, &preset, Coll::Allreduce, m, 0)),
+            us(time_coll(&han, &preset, Coll::Bcast, m, 0).expect("supported")),
+            us(time_coll(&han, &preset, Coll::Allreduce, m, 0).expect("supported")),
         ]);
     }
     println!("{}", t.render());
@@ -750,7 +787,7 @@ fn ablation_irib(cfg: &Cfg) {
         let han = Han::with_config(hc);
         t.row(vec![
             name.to_string(),
-            us(time_coll(&han, &preset, Coll::Allreduce, m, 0)),
+            us(time_coll(&han, &preset, Coll::Allreduce, m, 0).expect("supported")),
         ]);
     }
     println!("{}", t.render());
@@ -777,12 +814,13 @@ fn ablation_models(cfg: &Cfg) {
                     IntraModule::Sm
                 });
             let han = Han::with_config(hc);
-            let actual = time_coll_on(&han, &mut machine, &preset, Coll::Bcast, m, 0);
+            let actual =
+                time_coll_on(&han, &mut machine, &preset, Coll::Bcast, m, 0).expect("supported");
             for (i, model) in han_tuner::analytic::AnalyticModel::ALL.iter().enumerate() {
                 let p = han_tuner::analytic::predict_bcast(*model, &preset, &hc, m);
                 rows[i].1.push((p, actual));
             }
-            let p = han_tuner::model::predict(&mut tb, &hc, Coll::Bcast, m);
+            let p = han_tuner::model::predict(&mut tb, &hc, Coll::Bcast, m).expect("modelled");
             rows.last_mut().unwrap().1.push((p, actual));
         }
     }
@@ -803,6 +841,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
     let mut cache = CacheMode::Mem;
+    let mut levels = 2usize;
     let mut what = "all".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -822,11 +861,49 @@ fn main() {
                     _ => CacheMode::Mem,
                 };
             }
+        } else if a == "--levels" {
+            if let Some(v) = it.next() {
+                levels = match v.as_str() {
+                    "3" => 3,
+                    "2" => 2,
+                    other => {
+                        eprintln!("--levels must be 2 or 3, got '{other}'");
+                        std::process::exit(2);
+                    }
+                };
+            }
         } else if !a.starts_with("--") {
             what = a.clone();
         }
     }
-    let cfg = Cfg { scale, cache };
+    let cfg = Cfg {
+        scale,
+        cache,
+        levels,
+    };
+    if levels > 2 {
+        // Deep sweeps write results/<fig>_d3.json; two-level files stay put.
+        han_bench::report::set_result_suffix(&format!("_d{levels}"));
+    }
+
+    // Report the hierarchy actually in use (the tuning machine is
+    // representative; all presets share the same depth).
+    let probe = cfg.tuning();
+    println!(
+        "machine hierarchy ({} levels, extents {:?}):",
+        probe.topology.depth(),
+        probe.topology.levels()
+    );
+    for link in probe.level_links() {
+        println!(
+            "  level {}: {:<13} {:>7.1} GB/s, {} latency",
+            link.level,
+            link.label,
+            link.bandwidth / 1e9,
+            link.latency
+        );
+    }
+    println!();
 
     let start = std::time::Instant::now();
     match what.as_str() {

@@ -9,21 +9,24 @@ use han_colls::stack::{time_coll_on, Coll, MpiStack};
 use han_machine::{Machine, MachinePreset};
 use han_sim::Time;
 
-/// One sweep row: a message size and each stack's latency.
+/// One sweep row: a message size and each stack's latency. A stack that
+/// does not implement the collective contributes `None` — the sweep skips
+/// it and keeps the row, rather than aborting the whole comparison.
 #[derive(Debug, Clone)]
 pub struct ImbRow {
     pub bytes: u64,
-    /// `(stack name, latency)` in the order the stacks were given.
-    pub results: Vec<(String, Time)>,
+    /// `(stack name, latency)` in the order the stacks were given;
+    /// `None` marks an unsupported collective for that stack.
+    pub results: Vec<(String, Option<Time>)>,
 }
 
 impl ImbRow {
-    /// Latency of the named stack.
+    /// Latency of the named stack (`None` if absent or unsupported).
     pub fn of(&self, name: &str) -> Option<Time> {
         self.results
             .iter()
             .find(|(n, _)| n == name)
-            .map(|(_, t)| *t)
+            .and_then(|(_, t)| *t)
     }
 
     /// Speedup of `a` over `b` (>1 means `a` is faster).
@@ -50,7 +53,7 @@ pub fn imb_sweep(
                 .map(|s| {
                     (
                         s.name(),
-                        time_coll_on(*s, &mut machine, preset, coll, bytes, 0),
+                        time_coll_on(*s, &mut machine, preset, coll, bytes, 0).ok(),
                     )
                 })
                 .collect(),
@@ -98,13 +101,17 @@ mod tests {
         let row = ImbRow {
             bytes: 8,
             results: vec![
-                ("A".into(), Time::from_us(10)),
-                ("B".into(), Time::from_us(20)),
+                ("A".into(), Some(Time::from_us(10))),
+                ("B".into(), Some(Time::from_us(20))),
+                ("C-unsupported".into(), None),
             ],
         };
         assert_eq!(row.speedup("A", "B"), Some(2.0));
         assert_eq!(row.speedup("B", "A"), Some(0.5));
         assert_eq!(row.speedup("A", "C"), None);
+        // An unsupported stack reads as absent, never as a zero latency.
+        assert_eq!(row.of("C-unsupported"), None);
+        assert_eq!(row.speedup("A", "C-unsupported"), None);
     }
 
     #[test]

@@ -74,14 +74,26 @@ pub fn size_label(bytes: u64) -> String {
     han_core::config::human_size(bytes)
 }
 
-/// Persist a serializable result under `results/<name>.json`.
+/// Persist a serializable result under `results/<name><suffix>.json`,
+/// where the suffix comes from [`set_result_suffix`] (e.g. `_d3` for
+/// three-level sweeps, so deep runs never clobber the two-level files).
 pub fn save_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
     let dir = Path::new("results");
     std::fs::create_dir_all(dir)?;
+    let suffix = RESULT_SUFFIX.lock().map(|s| s.clone()).unwrap_or_default();
     std::fs::write(
-        dir.join(format!("{name}.json")),
+        dir.join(format!("{name}{suffix}.json")),
         serde_json::to_string_pretty(value).expect("serialize"),
     )
+}
+
+static RESULT_SUFFIX: std::sync::Mutex<String> = std::sync::Mutex::new(String::new());
+
+/// Set a filename suffix appended to every subsequent [`save_json`] name.
+pub fn set_result_suffix(suffix: &str) {
+    if let Ok(mut s) = RESULT_SUFFIX.lock() {
+        *s = suffix.to_string();
+    }
 }
 
 #[cfg(test)]

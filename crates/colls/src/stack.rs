@@ -33,6 +33,19 @@ pub enum Coll {
 }
 
 impl Coll {
+    /// Every collective the framework knows, in canonical order. Sweep
+    /// harnesses and decision-table distillation iterate this list so a
+    /// newly added collective cannot be silently skipped.
+    pub const ALL: [Coll; 7] = [
+        Coll::Bcast,
+        Coll::Allreduce,
+        Coll::Reduce,
+        Coll::Gather,
+        Coll::Scatter,
+        Coll::Allgather,
+        Coll::Barrier,
+    ];
+
     pub fn name(&self) -> &'static str {
         match self {
             Coll::Bcast => "bcast",
@@ -45,6 +58,23 @@ impl Coll {
         }
     }
 }
+
+/// A stack was asked for a collective it does not implement. Sweeps and
+/// benches treat this as "skip and report", never as a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unsupported {
+    /// Display name of the stack (or model) that declined.
+    pub stack: String,
+    pub coll: Coll,
+}
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {} not implemented", self.stack, self.coll.name())
+    }
+}
+
+impl std::error::Error for Unsupported {}
 
 /// A complete MPI implementation under test.
 pub trait MpiStack {
@@ -86,8 +116,11 @@ pub trait MpiStack {
         _op: ReduceOp,
         _dtype: DataType,
         _deps: &Frontier,
-    ) -> Frontier {
-        unimplemented!("{}: reduce not implemented", self.name())
+    ) -> Result<Frontier, Unsupported> {
+        Err(Unsupported {
+            stack: self.name(),
+            coll: Coll::Reduce,
+        })
     }
 
     /// `MPI_Gather` of equal `block`-sized contributions to `root`.
@@ -102,8 +135,11 @@ pub trait MpiStack {
         _src: &[BufRange],
         _dst_root: BufRange,
         _deps: &Frontier,
-    ) -> Frontier {
-        unimplemented!("{}: gather not implemented", self.name())
+    ) -> Result<Frontier, Unsupported> {
+        Err(Unsupported {
+            stack: self.name(),
+            coll: Coll::Gather,
+        })
     }
 
     /// `MPI_Scatter` from `root` (inverse of gather).
@@ -116,13 +152,24 @@ pub trait MpiStack {
         _src_root: BufRange,
         _dst: &[BufRange],
         _deps: &Frontier,
-    ) -> Frontier {
-        unimplemented!("{}: scatter not implemented", self.name())
+    ) -> Result<Frontier, Unsupported> {
+        Err(Unsupported {
+            stack: self.name(),
+            coll: Coll::Scatter,
+        })
     }
 
     /// `MPI_Barrier`: no rank may exit before every rank has entered.
-    fn barrier(&self, _cx: &mut BuildCtx, _comm: &Comm, _deps: &Frontier) -> Frontier {
-        unimplemented!("{}: barrier not implemented", self.name())
+    fn barrier(
+        &self,
+        _cx: &mut BuildCtx,
+        _comm: &Comm,
+        _deps: &Frontier,
+    ) -> Result<Frontier, Unsupported> {
+        Err(Unsupported {
+            stack: self.name(),
+            coll: Coll::Barrier,
+        })
     }
 
     /// `MPI_Allgather`: `bufs[l]` is an n·block array with rank `l`'s
@@ -134,8 +181,11 @@ pub trait MpiStack {
         _bufs: &[BufRange],
         _block: u64,
         _deps: &Frontier,
-    ) -> Frontier {
-        unimplemented!("{}: allgather not implemented", self.name())
+    ) -> Result<Frontier, Unsupported> {
+        Err(Unsupported {
+            stack: self.name(),
+            coll: Coll::Allgather,
+        })
     }
 }
 
@@ -181,7 +231,7 @@ pub fn build_coll(
     coll: Coll,
     bytes: u64,
     root: usize,
-) -> han_mpi::Program {
+) -> Result<han_mpi::Program, Unsupported> {
     let n = preset.topology.world_size();
     let comm = Comm::world(n);
     let mut b = ProgramBuilder::new(n);
@@ -217,27 +267,27 @@ pub fn build_coll(
                 ReduceOp::Sum,
                 DataType::Float32,
                 &deps,
-            );
+            )?;
         }
         Coll::Gather => {
             let src: Vec<BufRange> = (0..n).map(|r| cx.b.alloc(r, bytes)).collect();
             let dst = cx.b.alloc(root, bytes * n as u64);
-            stack.gather(&mut cx, &comm, root, &src, dst, &deps);
+            stack.gather(&mut cx, &comm, root, &src, dst, &deps)?;
         }
         Coll::Scatter => {
             let src = cx.b.alloc(root, bytes * n as u64);
             let dst: Vec<BufRange> = (0..n).map(|r| cx.b.alloc(r, bytes)).collect();
-            stack.scatter(&mut cx, &comm, root, src, &dst, &deps);
+            stack.scatter(&mut cx, &comm, root, src, &dst, &deps)?;
         }
         Coll::Allgather => {
             let bufs = cx.b.alloc_all(bytes * n as u64);
-            stack.allgather(&mut cx, &comm, &bufs, bytes, &deps);
+            stack.allgather(&mut cx, &comm, &bufs, bytes, &deps)?;
         }
         Coll::Barrier => {
-            stack.barrier(&mut cx, &comm, &deps);
+            stack.barrier(&mut cx, &comm, &deps)?;
         }
     }
-    b.build()
+    Ok(b.build())
 }
 
 /// Time one collective on a fresh machine: the IMB cost (max over ranks).
@@ -247,7 +297,7 @@ pub fn time_coll(
     coll: Coll,
     bytes: u64,
     root: usize,
-) -> Time {
+) -> Result<Time, Unsupported> {
     let mut machine = Machine::from_preset(preset);
     time_coll_on(stack, &mut machine, preset, coll, bytes, root)
 }
@@ -260,10 +310,10 @@ pub fn time_coll_on(
     coll: Coll,
     bytes: u64,
     root: usize,
-) -> Time {
-    let prog = build_coll(stack, preset, coll, bytes, root);
+) -> Result<Time, Unsupported> {
+    let prog = build_coll(stack, preset, coll, bytes, root)?;
     let opts = ExecOpts::timing(stack.flavor().p2p());
-    execute(machine, &prog, &opts).makespan
+    Ok(execute(machine, &prog, &opts).makespan)
 }
 
 #[cfg(test)]

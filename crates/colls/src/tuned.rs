@@ -18,7 +18,7 @@ use crate::p2p::{
     dissemination_barrier, linear_gather, linear_scatter, rabenseifner_allreduce, rd_allreduce,
     ring_allgather, tree_bcast, tree_reduce,
 };
-use crate::stack::{BuildCtx, MpiStack};
+use crate::stack::{BuildCtx, MpiStack, Unsupported};
 use crate::tree::TreeShape;
 use han_machine::Flavor;
 use han_mpi::{BufRange, Comm, DataType, ReduceOp};
@@ -96,13 +96,13 @@ impl MpiStack for TunedOpenMpi {
         op: ReduceOp,
         dtype: DataType,
         deps: &Frontier,
-    ) -> Frontier {
+    ) -> Result<Frontier, Unsupported> {
         let seg = if bufs[0].len >= 512 * 1024 {
             Some(128 * 1024)
         } else {
             None
         };
-        tree_reduce(
+        Ok(tree_reduce(
             cx.b,
             comm,
             root,
@@ -113,7 +113,7 @@ impl MpiStack for TunedOpenMpi {
             op,
             dtype,
             false,
-        )
+        ))
     }
 
     fn gather(
@@ -124,8 +124,8 @@ impl MpiStack for TunedOpenMpi {
         src: &[BufRange],
         dst_root: BufRange,
         deps: &Frontier,
-    ) -> Frontier {
-        linear_gather(cx.b, comm, root, src, dst_root, deps)
+    ) -> Result<Frontier, Unsupported> {
+        Ok(linear_gather(cx.b, comm, root, src, dst_root, deps))
     }
 
     fn scatter(
@@ -136,8 +136,8 @@ impl MpiStack for TunedOpenMpi {
         src_root: BufRange,
         dst: &[BufRange],
         deps: &Frontier,
-    ) -> Frontier {
-        linear_scatter(cx.b, comm, root, src_root, dst, deps)
+    ) -> Result<Frontier, Unsupported> {
+        Ok(linear_scatter(cx.b, comm, root, src_root, dst, deps))
     }
 
     fn allgather(
@@ -147,13 +147,18 @@ impl MpiStack for TunedOpenMpi {
         bufs: &[BufRange],
         block: u64,
         deps: &Frontier,
-    ) -> Frontier {
-        ring_allgather(cx.b, comm, bufs, block, deps)
+    ) -> Result<Frontier, Unsupported> {
+        Ok(ring_allgather(cx.b, comm, bufs, block, deps))
     }
 
-    fn barrier(&self, cx: &mut BuildCtx, comm: &Comm, deps: &Frontier) -> Frontier {
+    fn barrier(
+        &self,
+        cx: &mut BuildCtx,
+        comm: &Comm,
+        deps: &Frontier,
+    ) -> Result<Frontier, Unsupported> {
         // Flat dissemination over the whole communicator, topology-blind.
-        dissemination_barrier(cx.b, comm, deps)
+        Ok(dissemination_barrier(cx.b, comm, deps))
     }
 }
 
@@ -188,7 +193,7 @@ mod tests {
     #[test]
     fn tuned_bcast_correct_end_to_end() {
         let preset = mini(2, 3);
-        let prog = build_coll(&TunedOpenMpi, &preset, Coll::Bcast, 64, 0);
+        let prog = build_coll(&TunedOpenMpi, &preset, Coll::Bcast, 64, 0).unwrap();
         let mut m = han_machine::Machine::from_preset(&preset);
         let o = ExecOpts::with_data(Flavor::OpenMpi.p2p());
         // Buffers were allocated rank-major starting at offset 0.
@@ -204,7 +209,7 @@ mod tests {
     #[test]
     fn tuned_allreduce_correct_end_to_end() {
         let preset = mini(2, 2);
-        let prog = build_coll(&TunedOpenMpi, &preset, Coll::Allreduce, 16, 0);
+        let prog = build_coll(&TunedOpenMpi, &preset, Coll::Allreduce, 16, 0).unwrap();
         let mut m = han_machine::Machine::from_preset(&preset);
         let o = ExecOpts::with_data(Flavor::OpenMpi.p2p());
         let (_, mem) = execute_seeded(&mut m, &prog, &o, |mm| {
@@ -228,8 +233,8 @@ mod tests {
     #[test]
     fn cost_grows_with_message_size() {
         let preset = mini(4, 2);
-        let t_small = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, 1024, 0);
-        let t_large = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, 1 << 20, 0);
+        let t_small = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, 1024, 0).unwrap();
+        let t_large = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, 1 << 20, 0).unwrap();
         assert!(t_large > t_small * 5);
     }
 }

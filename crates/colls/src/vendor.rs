@@ -305,7 +305,7 @@ mod tests {
     fn check_bcast_data(stack: &VendorMpi, nodes: usize, ppn: usize, root: usize) {
         let preset = mini(nodes, ppn);
         let n = nodes * ppn;
-        let prog = build_coll(stack, &preset, Coll::Bcast, 32, root);
+        let prog = build_coll(stack, &preset, Coll::Bcast, 32, root).unwrap();
         let mut m = Machine::from_preset(&preset);
         let o = ExecOpts::with_data(stack.flavor().p2p());
         let buf = BufRange::new(0, 32);
@@ -328,7 +328,7 @@ mod tests {
     fn check_allreduce_data(stack: &VendorMpi, nodes: usize, ppn: usize, bytes: u64) {
         let preset = mini(nodes, ppn);
         let n = nodes * ppn;
-        let prog = build_coll(stack, &preset, Coll::Allreduce, bytes, 0);
+        let prog = build_coll(stack, &preset, Coll::Allreduce, bytes, 0).unwrap();
         let mut m = Machine::from_preset(&preset);
         let o = ExecOpts::with_data(stack.flavor().p2p());
         let buf = BufRange::new(0, bytes);
@@ -375,9 +375,9 @@ mod tests {
     fn vendors_beat_tuned_on_fat_nodes() {
         // Topology awareness must pay off: 4 nodes x 8 ranks, 1 MiB bcast.
         let preset = mini(4, 8);
-        let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, 1 << 20, 0);
+        let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, 1 << 20, 0).unwrap();
         for v in [VendorMpi::cray(), VendorMpi::intel(), VendorMpi::mvapich2()] {
-            let t = time_coll(&v, &preset, Coll::Bcast, 1 << 20, 0);
+            let t = time_coll(&v, &preset, Coll::Bcast, 1 << 20, 0).unwrap();
             assert!(
                 t < t_tuned,
                 "{} ({t}) should beat tuned ({t_tuned})",
@@ -389,8 +389,8 @@ mod tests {
     #[test]
     fn cray_beats_openmpi_flavors_on_small_messages() {
         let preset = mini(4, 4);
-        let t_cray = time_coll(&VendorMpi::cray(), &preset, Coll::Bcast, 4096, 0);
-        let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, 4096, 0);
+        let t_cray = time_coll(&VendorMpi::cray(), &preset, Coll::Bcast, 4096, 0).unwrap();
+        let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, 4096, 0).unwrap();
         assert!(t_cray < t_tuned);
     }
 }

@@ -12,10 +12,11 @@
 //! Non-leaders run the `sbsr` chain. As in [`crate::bcast`], per-task
 //! leader joins are emitted for the autotuner.
 
-use crate::bcast::{inter_bcast, intra_bcast};
+use crate::bcast::{descend_bcast, inter_bcast};
 use crate::config::HanConfig;
 use han_colls::stack::{sublocals, BuildCtx};
 use han_colls::{Frontier, InterModule, IntraModule, Libnbc, Sm, Solo};
+use han_machine::Topology;
 use han_mpi::{BufRange, Comm, DataType, OpId, ProgramBuilder, ReduceOp};
 
 /// Result of building a hierarchical allreduce.
@@ -47,8 +48,28 @@ pub(crate) fn inter_reduce(
     }
 }
 
+/// Flat shared-memory reduce (to local 0) through an explicit submodule —
+/// the leaf operation of the level recursion.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn flat_reduce(
+    b: &mut ProgramBuilder,
+    smod: IntraModule,
+    node: &han_machine::NodeParams,
+    low: &Comm,
+    bufs: &[BufRange],
+    deps: &Frontier,
+    op: ReduceOp,
+    dtype: DataType,
+) -> Frontier {
+    match smod {
+        IntraModule::Sm => Sm.reduce(b, low, node, 0, bufs, deps, op, dtype),
+        IntraModule::Solo => Solo.reduce(b, low, node, 0, bufs, deps, op, dtype),
+    }
+}
+
 /// Dispatch an intra-node reduce (to local 0) through the configured
-/// submodule.
+/// submodule. On a two-level topology this *is* the whole intra phase;
+/// [`ascend_reduce`] generalizes it to arbitrary depth.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn intra_reduce(
     b: &mut ProgramBuilder,
@@ -60,10 +81,79 @@ pub(crate) fn intra_reduce(
     op: ReduceOp,
     dtype: DataType,
 ) -> Frontier {
-    match cfg.smod {
-        IntraModule::Sm => Sm.reduce(b, low, node, 0, bufs, deps, op, dtype),
-        IntraModule::Solo => Solo.reduce(b, low, node, 0, bufs, deps, op, dtype),
+    flat_reduce(b, cfg.smod, node, low, bufs, deps, op, dtype)
+}
+
+/// Reduce within a level-`level` group toward its local rank 0, recursing
+/// through the remaining levels — the ascending mirror of
+/// [`crate::bcast::descend_bcast`]: each subgroup first folds its own
+/// partial down to its leader, then the leaders run a flat
+/// `smod_at(level)` reduce across subgroup boundaries. On depth-2
+/// topologies this collapses to exactly the classic intra reduce.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ascend_reduce(
+    b: &mut ProgramBuilder,
+    cfg: &HanConfig,
+    topo: &Topology,
+    node: &han_machine::NodeParams,
+    level: usize,
+    gc: &Comm,
+    bufs: &[BufRange],
+    deps: &Frontier,
+    op: ReduceOp,
+    dtype: DataType,
+) -> Frontier {
+    if level + 1 >= topo.depth() {
+        return flat_reduce(b, cfg.smod_at(level), node, gc, bufs, deps, op, dtype);
     }
+    let (subs, leaders) = gc.split_level(topo, level);
+    if subs.len() == 1 {
+        return ascend_reduce(b, cfg, topo, node, level + 1, gc, bufs, deps, op, dtype);
+    }
+    let mut out = Frontier::empty(gc.size());
+    let glocals = sublocals(gc, &leaders);
+    let mut ldeps = Frontier::empty(leaders.size());
+    for (si, sc) in subs.iter().enumerate() {
+        let locals = sublocals(gc, sc);
+        let sub_bufs: Vec<BufRange> = locals.iter().map(|&l| bufs[l]).collect();
+        let mut sdeps = Frontier::empty(sc.size());
+        for (j, &l) in locals.iter().enumerate() {
+            sdeps.set(j, deps.get(l).to_vec());
+        }
+        let f = ascend_reduce(
+            b,
+            cfg,
+            topo,
+            node,
+            level + 1,
+            sc,
+            &sub_bufs,
+            &sdeps,
+            op,
+            dtype,
+        );
+        // The subgroup's partial (at its leader) feeds the cross-subgroup
+        // reduce; non-leader members are done after their own phase.
+        ldeps.set(si, f.get(0).to_vec());
+        for (j, &l) in locals.iter().enumerate().skip(1) {
+            out.set(l, f.get(j).to_vec());
+        }
+    }
+    let leader_bufs: Vec<BufRange> = glocals.iter().map(|&l| bufs[l]).collect();
+    let f_lead = flat_reduce(
+        b,
+        cfg.smod_at(level),
+        node,
+        &leaders,
+        &leader_bufs,
+        &ldeps,
+        op,
+        dtype,
+    );
+    for (i, &l) in glocals.iter().enumerate() {
+        out.set(l, f_lead.get(i).to_vec());
+    }
+    out
 }
 
 /// Build the HAN allreduce (in place over `bufs`, commutative `op`).
@@ -97,6 +187,7 @@ pub fn build_allreduce(
     let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(fs)).collect();
     let u = segs[0].len();
     let node = cx.node;
+    let topo = cx.topo;
     let nl = up.size();
 
     let mut boundary: Vec<Vec<OpId>> = up_locals.iter().map(|&l| deps.get(l).to_vec()).collect();
@@ -123,7 +214,9 @@ pub fn build_allreduce(
                 for (j, &l) in locals.iter().enumerate().skip(1) {
                     sub_deps.set(j, child_chain[l].clone());
                 }
-                let f = intra_reduce(cx.b, cfg, &node, lc, &sub_bufs, &sub_deps, op, dtype);
+                let f = ascend_reduce(
+                    cx.b, cfg, &topo, &node, 1, lc, &sub_bufs, &sub_deps, op, dtype,
+                );
                 sr_leader[t][ni] = f.get(0).to_vec();
                 issued_leader[ni].extend_from_slice(f.get(0));
                 for (j, &l) in locals.iter().enumerate().skip(1) {
@@ -181,7 +274,7 @@ pub fn build_allreduce(
                 for (j, &l) in locals.iter().enumerate().skip(1) {
                     sub_deps.set(j, child_chain[l].clone());
                 }
-                let f = intra_bcast(cx.b, cfg, &node, lc, &sub_bufs, &sub_deps);
+                let f = descend_bcast(cx.b, cfg, &topo, &node, 1, lc, &sub_bufs, &sub_deps);
                 for (j, &l) in locals.iter().enumerate() {
                     if j == 0 {
                         issued_leader[ni].extend_from_slice(f.get(0));

@@ -12,6 +12,7 @@
 use crate::config::HanConfig;
 use han_colls::stack::{split_with_root, sublocals, BuildCtx};
 use han_colls::{Frontier, InterModule, IntraModule, Libnbc, Sm, Solo};
+use han_machine::Topology;
 use han_mpi::{BufRange, Comm, OpId, ProgramBuilder};
 
 /// Result of building a hierarchical broadcast.
@@ -41,8 +42,25 @@ pub(crate) fn inter_bcast(
     }
 }
 
+/// Flat shared-memory broadcast (root = local 0) through an explicit
+/// submodule — the leaf operation of the level recursion.
+pub(crate) fn flat_bcast(
+    b: &mut ProgramBuilder,
+    smod: IntraModule,
+    node: &han_machine::NodeParams,
+    low: &Comm,
+    bufs: &[BufRange],
+    deps: &Frontier,
+) -> Frontier {
+    match smod {
+        IntraModule::Sm => Sm.bcast(b, low, node, 0, bufs, deps),
+        IntraModule::Solo => Solo.bcast(b, low, node, 0, bufs, deps),
+    }
+}
+
 /// Dispatch an intra-node broadcast (root = local 0) through the
-/// configured submodule.
+/// configured submodule. On a two-level topology this *is* the whole
+/// intra phase; [`descend_bcast`] generalizes it to arbitrary depth.
 pub(crate) fn intra_bcast(
     b: &mut ProgramBuilder,
     cfg: &HanConfig,
@@ -51,10 +69,63 @@ pub(crate) fn intra_bcast(
     bufs: &[BufRange],
     deps: &Frontier,
 ) -> Frontier {
-    match cfg.smod {
-        IntraModule::Sm => Sm.bcast(b, low, node, 0, bufs, deps),
-        IntraModule::Solo => Solo.bcast(b, low, node, 0, bufs, deps),
+    flat_bcast(b, cfg.smod, node, low, bufs, deps)
+}
+
+/// Broadcast within a level-`level` group whose local rank 0 holds the
+/// data, recursing through the remaining levels of the topology.
+///
+/// At the innermost level (`level == depth - 1`) this is exactly the flat
+/// submodule broadcast of the two-level design — so on depth-2 topologies
+/// the recursion is structurally identical to the classic intra phase.
+/// Above it, the group splits into its level-`level` subgroups, the
+/// subgroup leaders run a flat `smod_at(level)` broadcast, and each
+/// subgroup recurses: the segment frontier chains leader-first through
+/// the ordered level list, level by level.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn descend_bcast(
+    b: &mut ProgramBuilder,
+    cfg: &HanConfig,
+    topo: &Topology,
+    node: &han_machine::NodeParams,
+    level: usize,
+    gc: &Comm,
+    bufs: &[BufRange],
+    deps: &Frontier,
+) -> Frontier {
+    if level + 1 >= topo.depth() {
+        return flat_bcast(b, cfg.smod_at(level), node, gc, bufs, deps);
     }
+    let (subs, leaders) = gc.split_level(topo, level);
+    if subs.len() == 1 {
+        // Degenerate level (one subgroup): nothing moves here.
+        return descend_bcast(b, cfg, topo, node, level + 1, gc, bufs, deps);
+    }
+    // Cross-subgroup hop among the leaders (gc-local 0 leads subgroup 0,
+    // so the leader comm's root is the data holder).
+    let glocals = sublocals(gc, &leaders);
+    let leader_bufs: Vec<BufRange> = glocals.iter().map(|&l| bufs[l]).collect();
+    let mut ldeps = Frontier::empty(leaders.size());
+    for (i, &l) in glocals.iter().enumerate() {
+        ldeps.set(i, deps.get(l).to_vec());
+    }
+    let f_lead = flat_bcast(b, cfg.smod_at(level), node, &leaders, &leader_bufs, &ldeps);
+    // Recurse into each subgroup from its freshly supplied leader.
+    let mut out = Frontier::empty(gc.size());
+    for (si, sc) in subs.iter().enumerate() {
+        let locals = sublocals(gc, sc);
+        let sub_bufs: Vec<BufRange> = locals.iter().map(|&l| bufs[l]).collect();
+        let mut sdeps = Frontier::empty(sc.size());
+        sdeps.set(0, f_lead.get(si).to_vec());
+        for (j, &l) in locals.iter().enumerate().skip(1) {
+            sdeps.set(j, deps.get(l).to_vec());
+        }
+        let f = descend_bcast(b, cfg, topo, node, level + 1, sc, &sub_bufs, &sdeps);
+        for (j, &l) in locals.iter().enumerate() {
+            out.set(l, f.get(j).to_vec());
+        }
+    }
+    out
 }
 
 /// Build the HAN broadcast from comm-local `root` over `comm`.
@@ -84,6 +155,7 @@ pub fn build_bcast(
     let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(cfg.fs)).collect();
     let u = segs[0].len();
     let node = cx.node;
+    let topo = cx.topo;
 
     // Per-leader current boundary (dependency list for the next task) and
     // per-rank intra-broadcast chains.
@@ -124,7 +196,7 @@ pub fn build_bcast(
             for (j, &l) in locals.iter().enumerate().skip(1) {
                 sub_deps.set(j, sb_chain[l].clone());
             }
-            let f_sb = intra_bcast(cx.b, cfg, &node, lc, &sub_bufs, &sub_deps);
+            let f_sb = descend_bcast(cx.b, cfg, &topo, &node, 1, lc, &sub_bufs, &sub_deps);
             let mut node_ops = Vec::new();
             for (j, &l) in locals.iter().enumerate() {
                 sb_chain[l] = f_sb.get(j).to_vec();

@@ -1,8 +1,12 @@
 //! HAN's tuned parameter set — the *output* of autotuning (paper Table II).
 
 use han_colls::{Adapt, InterAlg, InterModule, IntraModule};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 use std::fmt;
+
+/// Maximum number of hierarchy levels below the first shared-memory level
+/// (levels 2.. of a [`han_machine::Topology`]) a config can address.
+pub const MAX_DEEP: usize = han_machine::MAX_LEVELS - 2;
 
 /// One complete HAN configuration (Table II):
 ///
@@ -15,7 +19,14 @@ use std::fmt;
 /// | `iralg` | inter-node reduce algorithm (ADAPT only)      |
 /// | `ibs`   | inter-node bcast segment size (ADAPT only)    |
 /// | `irs`   | inter-node reduce segment size (ADAPT only)   |
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// On topologies deeper than two levels the intra-node phase is itself a
+/// recursive hierarchy; `deep[k]` selects the submodule for absolute level
+/// `k + 2` (level 1 stays `smod`). The all-`None` value — every two-level
+/// configuration — falls back to `smod` at every depth and serializes in
+/// the exact seven-field Table-II form above, so persisted tables and
+/// cache fingerprints from the two-level era remain valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HanConfig {
     pub fs: u64,
     pub imod: InterModule,
@@ -24,6 +35,62 @@ pub struct HanConfig {
     pub iralg: InterAlg,
     pub ibs: Option<u64>,
     pub irs: Option<u64>,
+    /// Submodule overrides for levels deeper than the first shared-memory
+    /// level: `deep[k]` configures level `k + 2` of the topology.
+    pub deep: [Option<IntraModule>; MAX_DEEP],
+}
+
+// Hand-written serde: the historical seven-field Table-II map, with a
+// trailing "deep" list only when some deep level is configured. This is
+// the lossless compatibility view — two-level configs are byte-identical
+// to their pre-N-level serialization.
+impl Serialize for HanConfig {
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            ("fs".to_string(), self.fs.to_value()),
+            ("imod".to_string(), self.imod.to_value()),
+            ("smod".to_string(), self.smod.to_value()),
+            ("ibalg".to_string(), self.ibalg.to_value()),
+            ("iralg".to_string(), self.iralg.to_value()),
+            ("ibs".to_string(), self.ibs.to_value()),
+            ("irs".to_string(), self.irs.to_value()),
+        ];
+        if let Some(last) = self.deep.iter().rposition(|d| d.is_some()) {
+            map.push((
+                "deep".to_string(),
+                Value::Seq(self.deep[..=last].iter().map(|d| d.to_value()).collect()),
+            ));
+        }
+        Value::Map(map)
+    }
+}
+
+impl Deserialize for HanConfig {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let field = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| Error::custom(format!("missing field {key}")))
+        };
+        let mut deep = [None; MAX_DEEP];
+        if let Some(Value::Seq(items)) = v.get("deep") {
+            if items.len() > MAX_DEEP {
+                return Err(Error::custom("too many deep levels"));
+            }
+            for (k, item) in items.iter().enumerate() {
+                deep[k] = Option::<IntraModule>::from_value(item)?;
+            }
+        }
+        Ok(HanConfig {
+            fs: u64::from_value(field("fs")?)?,
+            imod: InterModule::from_value(field("imod")?)?,
+            smod: IntraModule::from_value(field("smod")?)?,
+            ibalg: InterAlg::from_value(field("ibalg")?)?,
+            iralg: InterAlg::from_value(field("iralg")?)?,
+            ibs: Option::<u64>::from_value(field("ibs")?)?,
+            irs: Option::<u64>::from_value(field("irs")?)?,
+            deep,
+        })
+    }
 }
 
 impl Default for HanConfig {
@@ -38,6 +105,7 @@ impl Default for HanConfig {
             iralg: InterAlg::Binomial,
             ibs: None,
             irs: None,
+            deep: [None; MAX_DEEP],
         }
     }
 }
@@ -79,6 +147,28 @@ impl HanConfig {
         self.smod = smod;
         self
     }
+
+    /// The intra submodule for hierarchy level `level` (≥ 1): level 1 is
+    /// `smod`, deeper levels use their `deep` entry, falling back to
+    /// `smod` when unset — so a two-level config is valid at any depth.
+    pub fn smod_at(&self, level: usize) -> IntraModule {
+        debug_assert!(level >= 1, "level 0 is inter-node");
+        if level <= 1 {
+            self.smod
+        } else {
+            self.deep
+                .get(level - 2)
+                .copied()
+                .flatten()
+                .unwrap_or(self.smod)
+        }
+    }
+
+    /// Set the submodule for a deep level (`level` ≥ 2).
+    pub fn with_deep(mut self, level: usize, smod: IntraModule) -> Self {
+        self.deep[level - 2] = Some(smod);
+        self
+    }
 }
 
 impl fmt::Display for HanConfig {
@@ -97,6 +187,18 @@ impl fmt::Display for HanConfig {
         }
         if let Some(irs) = self.irs {
             write!(f, " irs={}", human_size(irs))?;
+        }
+        if let Some(last) = self.deep.iter().rposition(|d| d.is_some()) {
+            write!(f, " deep=")?;
+            for (k, d) in self.deep[..=last].iter().enumerate() {
+                if k > 0 {
+                    write!(f, ",")?;
+                }
+                match d {
+                    Some(m) => write!(f, "{m}")?,
+                    None => write!(f, "-")?,
+                }
+            }
         }
         Ok(())
     }
@@ -159,5 +261,30 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: HanConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn two_level_serde_keeps_table_two_form() {
+        // The compatibility view: no "deep" key, the seven Table-II fields
+        // in declaration order — byte-identical to the pre-N-level form.
+        let c = HanConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(!json.contains("deep"), "{json}");
+        assert!(json.starts_with("{\"fs\":"), "{json}");
+    }
+
+    #[test]
+    fn deep_levels_roundtrip_and_fall_back() {
+        let c = HanConfig::default()
+            .with_intra(IntraModule::Sm)
+            .with_deep(2, IntraModule::Solo);
+        assert_eq!(c.smod_at(1), IntraModule::Sm);
+        assert_eq!(c.smod_at(2), IntraModule::Solo);
+        assert_eq!(c.smod_at(3), IntraModule::Sm, "unset deep falls back");
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("deep"), "{json}");
+        let back: HanConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+        assert!(c.to_string().contains("deep=solo"), "{c}");
     }
 }

@@ -7,12 +7,14 @@
 //! block-redistribution collectives use the two-level composition without
 //! segmentation (their per-rank blocks are the natural pipeline unit).
 
-use crate::allreduce::{inter_reduce, intra_reduce};
+use crate::allreduce::{ascend_reduce, inter_reduce};
+use crate::bcast::descend_bcast;
 use crate::config::HanConfig;
 use han_colls::p2p::{dissemination_barrier, ring_allgather};
 use han_colls::stack::{split_with_root, sublocals, BuildCtx};
 use han_colls::Frontier;
-use han_mpi::{BufRange, Comm, DataType, OpId, OpKind, ReduceOp};
+use han_machine::Topology;
+use han_mpi::{BufRange, Comm, DataType, OpId, OpKind, ProgramBuilder, ReduceOp};
 
 /// Hierarchical `MPI_Reduce` to comm-local `root`: a pipelined `sr` → `ir`
 /// chain (in place at the root; interior buffers clobbered).
@@ -45,6 +47,7 @@ pub fn build_reduce(
     let fs = (cfg.fs / el).max(1) * el;
     let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(fs)).collect();
     let u = segs[0].len();
+    let topo = cx.topo;
 
     let mut boundary: Vec<Vec<OpId>> = up_locals.iter().map(|&l| deps.get(l).to_vec()).collect();
     let mut child_chain: Vec<Vec<OpId>> = (0..n).map(|l| deps.get(l).to_vec()).collect();
@@ -62,7 +65,9 @@ pub fn build_reduce(
                 for (j, &l) in locals.iter().enumerate().skip(1) {
                     sub_deps.set(j, child_chain[l].clone());
                 }
-                let f = intra_reduce(cx.b, cfg, &node, lc, &sub_bufs, &sub_deps, op, dtype);
+                let f = ascend_reduce(
+                    cx.b, cfg, &topo, &node, 1, lc, &sub_bufs, &sub_deps, op, dtype,
+                );
                 sr_leader[t][ni] = f.get(0).to_vec();
                 issued_leader[ni].extend_from_slice(f.get(0));
                 for (j, &l) in locals.iter().enumerate().skip(1) {
@@ -104,46 +109,106 @@ pub fn build_reduce(
     frontier
 }
 
-/// Hierarchical `MPI_Barrier`: intra-node arrival (children signal the
-/// leader), inter-node dissemination across leaders, intra-node release.
-/// Three flag hops instead of `coll_tuned`'s ⌈log₂(n·p)⌉ network rounds.
+/// Recursive arrival: fold a level-`level` group's members up to its
+/// leader, one flag join per level. At the innermost level this is the
+/// classic per-node arrive (child flags + one leader join); above it the
+/// subgroup joins chain upward. Returns the group leader's join op.
+fn arrive_level(
+    b: &mut ProgramBuilder,
+    topo: &Topology,
+    level: usize,
+    gc: &Comm,
+    locals: &[usize],
+    deps: &Frontier,
+) -> OpId {
+    let wleader = gc.world_rank(0);
+    if level + 1 >= topo.depth() {
+        let mut arrive = deps.get(locals[0]).to_vec();
+        for (j, &l) in locals.iter().enumerate().skip(1) {
+            let w = gc.world_rank(j);
+            let flag = b.nop(w, deps.get(l));
+            arrive.push(flag);
+        }
+        return b.nop(wleader, &arrive);
+    }
+    let (subs, _) = gc.split_level(topo, level);
+    if subs.len() == 1 {
+        return arrive_level(b, topo, level + 1, gc, locals, deps);
+    }
+    let mut arrive = Vec::with_capacity(subs.len());
+    for sc in &subs {
+        let sc_in_gc = sublocals(gc, sc);
+        let sc_locals: Vec<usize> = sc_in_gc.iter().map(|&l| locals[l]).collect();
+        arrive.push(arrive_level(b, topo, level + 1, sc, &sc_locals, deps));
+    }
+    b.nop(wleader, &arrive)
+}
+
+/// Recursive release: the group leader's exit fans out level by level —
+/// subgroup leaders wait on it, then release their own members.
+fn release_level(
+    b: &mut ProgramBuilder,
+    topo: &Topology,
+    level: usize,
+    gc: &Comm,
+    locals: &[usize],
+    entry: &[OpId],
+    out: &mut Frontier,
+) {
+    if level + 1 >= topo.depth() {
+        let wleader = gc.world_rank(0);
+        let leader_exit = b.nop(wleader, entry);
+        out.set(locals[0], vec![leader_exit]);
+        for (j, &l) in locals.iter().enumerate().skip(1) {
+            let w = gc.world_rank(j);
+            let release = b.nop(w, &[leader_exit]);
+            out.set(l, vec![release]);
+        }
+        return;
+    }
+    let (subs, _) = gc.split_level(topo, level);
+    if subs.len() == 1 {
+        release_level(b, topo, level + 1, gc, locals, entry, out);
+        return;
+    }
+    for sc in &subs {
+        let sc_in_gc = sublocals(gc, sc);
+        let sc_locals: Vec<usize> = sc_in_gc.iter().map(|&l| locals[l]).collect();
+        release_level(b, topo, level + 1, sc, &sc_locals, entry, out);
+    }
+}
+
+/// Hierarchical `MPI_Barrier`: arrival flags chain up the level list to
+/// each node leader, the leaders run an inter-node dissemination, and the
+/// release fans back down — one flag hop per hierarchy level instead of
+/// `coll_tuned`'s ⌈log₂(n·p)⌉ network rounds. On two-level topologies
+/// this is exactly the classic arrive / disseminate / release barrier.
 pub fn build_barrier(cx: &mut BuildCtx, comm: &Comm, deps: &Frontier) -> Frontier {
     let n = comm.size();
     if n == 1 {
         return deps.clone();
     }
-    let (low, up) = comm.split_node(&cx.topo);
+    let topo = cx.topo;
+    let (low, up) = comm.split_node(&topo);
 
-    // Phase 1: arrival — each leader joins its node's members.
+    // Phase 1: arrival — each leader joins its node's members, level by
+    // level.
     let mut up_deps = Frontier::empty(up.size());
     for (ni, lc) in low.iter().enumerate() {
         let locals = sublocals(comm, lc);
-        let wleader = lc.world_rank(0);
-        let mut arrive = deps.get(locals[0]).to_vec();
-        for (j, &l) in locals.iter().enumerate().skip(1) {
-            let w = lc.world_rank(j);
-            let flag = cx.b.nop(w, deps.get(l));
-            arrive.push(flag);
-        }
-        let joined = cx.b.nop(wleader, &arrive);
+        let joined = arrive_level(cx.b, &topo, 1, lc, &locals, deps);
         up_deps.set(ni, vec![joined]);
     }
 
     // Phase 2: inter-node dissemination across leaders.
     let f_up = dissemination_barrier(cx.b, &up, &up_deps);
 
-    // Phase 3: release — children wait on their leader's exit.
+    // Phase 3: release — members wait on their leaders' exits, level by
+    // level.
     let mut out = Frontier::empty(n);
     for (ni, lc) in low.iter().enumerate() {
         let locals = sublocals(comm, lc);
-        let wleader = lc.world_rank(0);
-        let leader_exit = cx.b.nop(wleader, f_up.get(ni));
-        out.set(locals[0], vec![leader_exit]);
-        for (j, &l) in locals.iter().enumerate().skip(1) {
-            let w = lc.world_rank(j);
-            let release = cx.b.nop(w, &[leader_exit]);
-            out.set(l, vec![release]);
-        }
+        release_level(cx.b, &topo, 1, lc, &locals, f_up.get(ni), &mut out);
     }
     out
 }
@@ -466,7 +531,8 @@ pub fn build_allgather(
         for (j, &l) in locals.iter().enumerate().skip(1) {
             sub_deps.set(j, deps.get(l).to_vec());
         }
-        let f = crate::bcast::intra_bcast(cx.b, cfg, &cx.node, lc, &sub_bufs, &sub_deps);
+        let topo = cx.topo;
+        let f = descend_bcast(cx.b, cfg, &topo, &cx.node, 1, lc, &sub_bufs, &sub_deps);
         for (j, &l) in locals.iter().enumerate() {
             let mut v = out.get(l).to_vec();
             v.extend_from_slice(f.get(j));
@@ -655,8 +721,8 @@ mod tests {
         // beat log2(n*p) full network rounds.
         let preset = mini(4, 8);
         let han = Han::with_config(crate::HanConfig::default());
-        let t_han = time_coll(&han, &preset, Coll::Barrier, 0, 0);
-        let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Barrier, 0, 0);
+        let t_han = time_coll(&han, &preset, Coll::Barrier, 0, 0).unwrap();
+        let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Barrier, 0, 0).unwrap();
         assert!(
             t_han < t_tuned,
             "hierarchical barrier {t_han} vs flat {t_tuned}"

@@ -5,7 +5,7 @@ use crate::allreduce::build_allreduce;
 use crate::bcast::build_bcast;
 use crate::config::HanConfig;
 use crate::extend::{build_allgather, build_barrier, build_gather, build_reduce, build_scatter};
-use han_colls::stack::{BuildCtx, Coll, MpiStack};
+use han_colls::stack::{BuildCtx, Coll, MpiStack, Unsupported};
 use han_colls::Frontier;
 use han_machine::Flavor;
 use han_mpi::{BufRange, Comm, DataType, ReduceOp};
@@ -110,9 +110,9 @@ impl MpiStack for Han {
         op: ReduceOp,
         dtype: DataType,
         deps: &Frontier,
-    ) -> Frontier {
+    ) -> Result<Frontier, Unsupported> {
         let cfg = self.cfg(cx, Coll::Reduce, bufs[0].len);
-        build_reduce(cx, &cfg, comm, root, bufs, op, dtype, deps)
+        Ok(build_reduce(cx, &cfg, comm, root, bufs, op, dtype, deps))
     }
 
     fn gather(
@@ -123,9 +123,9 @@ impl MpiStack for Han {
         src: &[BufRange],
         dst_root: BufRange,
         deps: &Frontier,
-    ) -> Frontier {
+    ) -> Result<Frontier, Unsupported> {
         let cfg = self.cfg(cx, Coll::Gather, src[0].len);
-        build_gather(cx, &cfg, comm, root, src, dst_root, deps)
+        Ok(build_gather(cx, &cfg, comm, root, src, dst_root, deps))
     }
 
     fn scatter(
@@ -136,9 +136,9 @@ impl MpiStack for Han {
         src_root: BufRange,
         dst: &[BufRange],
         deps: &Frontier,
-    ) -> Frontier {
+    ) -> Result<Frontier, Unsupported> {
         let cfg = self.cfg(cx, Coll::Scatter, dst[0].len);
-        build_scatter(cx, &cfg, comm, root, src_root, dst, deps)
+        Ok(build_scatter(cx, &cfg, comm, root, src_root, dst, deps))
     }
 
     fn allgather(
@@ -148,13 +148,18 @@ impl MpiStack for Han {
         bufs: &[BufRange],
         block: u64,
         deps: &Frontier,
-    ) -> Frontier {
+    ) -> Result<Frontier, Unsupported> {
         let cfg = self.cfg(cx, Coll::Allgather, block);
-        build_allgather(cx, &cfg, comm, bufs, block, deps)
+        Ok(build_allgather(cx, &cfg, comm, bufs, block, deps))
     }
 
-    fn barrier(&self, cx: &mut BuildCtx, comm: &Comm, deps: &Frontier) -> Frontier {
-        build_barrier(cx, comm, deps)
+    fn barrier(
+        &self,
+        cx: &mut BuildCtx,
+        comm: &Comm,
+        deps: &Frontier,
+    ) -> Result<Frontier, Unsupported> {
+        Ok(build_barrier(cx, comm, deps))
     }
 }
 
@@ -170,7 +175,7 @@ mod tests {
     fn han_bcast_via_stack_trait_delivers() {
         let preset = mini(3, 3);
         let han = Han::with_config(HanConfig::default().with_fs(64));
-        let prog = build_coll(&han, &preset, Coll::Bcast, 200, 0);
+        let prog = build_coll(&han, &preset, Coll::Bcast, 200, 0).unwrap();
         let mut m = Machine::from_preset(&preset);
         let buf = BufRange::new(0, 200);
         let (_, mem) = execute_seeded(
@@ -198,8 +203,8 @@ mod tests {
                     .with_intra(han_colls::IntraModule::Solo),
             ),
         ] {
-            let t_han = time_coll(&Han::with_config(cfg), &preset, Coll::Bcast, bytes, 0);
-            let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, bytes, 0);
+            let t_han = time_coll(&Han::with_config(cfg), &preset, Coll::Bcast, bytes, 0).unwrap();
+            let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, bytes, 0).unwrap();
             assert!(
                 t_han < t_tuned,
                 "HAN ({t_han}) should beat tuned ({t_tuned}) at {bytes}B"
@@ -223,7 +228,7 @@ mod tests {
         let preset = mini(2, 2);
         // Both sizes must run correctly through the dynamic source.
         for bytes in [256u64, 4096] {
-            let prog = build_coll(&han, &preset, Coll::Bcast, bytes, 0);
+            let prog = build_coll(&han, &preset, Coll::Bcast, bytes, 0).unwrap();
             assert!(!prog.is_empty());
         }
     }

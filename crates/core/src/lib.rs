@@ -26,6 +26,19 @@
 //! completion times directly, exactly as the paper benchmarks tasks rather
 //! than whole collectives.
 //!
+//! ## N-level hierarchy
+//!
+//! The pipeline's intra phase is generalized beyond the paper's two
+//! levels: a topology is an ordered extent vector (`[nodes, sockets,
+//! cores]`, …) and the `sb`/`sr` phases recurse through levels `1..depth`
+//! via `descend_bcast`/`ascend_reduce` — each level moves segments across
+//! its subgroup leaders with a per-level submodule
+//! ([`config::HanConfig::smod_at`]), then recurses into the subgroups.
+//! On two-level machines the recursion is structurally identical to the
+//! classic intra phase; [`classic`] preserves the pre-refactor builders
+//! verbatim and `tests/hierarchy_equivalence.rs` pins bit-identical
+//! virtual times against them. See [`levels`] for the design.
+//!
 //! ## Modules
 //!
 //! * [`config`] — [`config::HanConfig`], the tuned parameter set of
@@ -39,8 +52,10 @@
 //! * [`han`] — the [`han::Han`] facade implementing
 //!   [`han_colls::MpiStack`], with either a fixed configuration or a
 //!   pluggable decision source (the autotuner's lookup table).
-//! * [`levels`] — documented extension points for >2 hierarchy levels and
-//!   GPU submodules (the paper's future work; not implemented).
+//! * [`levels`] — the ordered hierarchy-level list and how it threads
+//!   through splitting, composition, configuration and cost.
+//! * [`classic`] — the pre-generalization two-level builders, kept
+//!   verbatim as regression oracles.
 
 // Collective builders iterate ranks/leaders by index into several
 // parallel per-rank buffer arrays at once; iterator rewrites of those
@@ -49,11 +64,12 @@
 
 pub mod allreduce;
 pub mod bcast;
+pub mod classic;
 pub mod config;
 pub mod extend;
 pub mod han;
 pub mod levels;
 pub mod task;
 
-pub use config::HanConfig;
+pub use config::{HanConfig, MAX_DEEP};
 pub use han::{ConfigSource, Han};

@@ -14,8 +14,8 @@
 //! `irsr`, `ibirsr`, `sbibirsr`, `sbibir`, `sbib`, `sbsr`) designs plus
 //! the overlap probes of Figs. 2 and 6 (`ib∥sb`, `ib∥ir`).
 
-use crate::allreduce::{inter_reduce, intra_reduce};
-use crate::bcast::{inter_bcast, intra_bcast};
+use crate::allreduce::{ascend_reduce, inter_reduce};
+use crate::bcast::{descend_bcast, inter_bcast};
 use crate::config::HanConfig;
 use han_colls::stack::{split_with_root, sublocals, BuildCtx};
 use han_colls::Frontier;
@@ -175,10 +175,12 @@ pub fn task_program(
             let locals = &low_locals[ni];
             let sub_bufs: Vec<BufRange> = locals.iter().map(|&l| bufs[l]).collect();
             let sub_deps = Frontier::empty(lc.size());
-            let f = intra_reduce(
+            let f = ascend_reduce(
                 cx.b,
                 cfg,
+                &preset.topology,
                 &node,
+                1,
                 lc,
                 &sub_bufs,
                 &sub_deps,
@@ -221,7 +223,16 @@ pub fn task_program(
             let locals = &low_locals[ni];
             let sub_bufs: Vec<BufRange> = locals.iter().map(|&l| bufs[l]).collect();
             let sub_deps = Frontier::empty(lc.size());
-            let f = intra_bcast(cx.b, cfg, &node, lc, &sub_bufs, &sub_deps);
+            let f = descend_bcast(
+                cx.b,
+                cfg,
+                &preset.topology,
+                &node,
+                1,
+                lc,
+                &sub_bufs,
+                &sub_deps,
+            );
             for j in 0..lc.size() {
                 leader_ops[ni].extend_from_slice(f.get(j));
             }

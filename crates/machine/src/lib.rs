@@ -35,5 +35,8 @@ pub mod topology;
 pub use flavor::{Flavor, P2pParams};
 pub use machine::Machine;
 pub use params::{NetParams, NodeParams};
-pub use presets::{mini, shaheen2, shaheen2_ppn, stampede2, stampede2_ppn, MachinePreset};
-pub use topology::Topology;
+pub use presets::{
+    mini, mini3, shaheen2, shaheen2_ppn, shaheen2_sockets, socketize, stampede2, stampede2_ppn,
+    LevelLink, MachinePreset,
+};
+pub use topology::{Topology, MAX_LEVELS};

@@ -7,10 +7,10 @@
 //! magnitudes.
 
 use han_sim::Time;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Per-node hardware parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct NodeParams {
     /// Cores per node (capacity; informational — ppn comes from topology).
     pub cores: usize,
@@ -39,6 +39,63 @@ pub struct NodeParams {
     /// Fixed setup cost of a SOLO (one-sided) operation: window
     /// synchronization/exposure epochs.
     pub solo_setup: Time,
+    /// Memory-bus time multiplier for intra-node transfers that cross a
+    /// shared-memory-domain boundary (socket/NUMA interconnect hop on a
+    /// 3-level topology). 1.0 models a socket-uniform node and is the
+    /// value for every two-level preset; only deeper topologies ever
+    /// observe other values, so two-level virtual times are unchanged.
+    pub xsocket_bus_factor: f64,
+}
+
+// Hand-written serde keeps the historical 8-field JSON form whenever the
+// cross-socket factor is neutral, so two-level preset fingerprints (and
+// the persisted cost caches keyed by them) survive the N-level refactor.
+impl Serialize for NodeParams {
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            ("cores".to_string(), self.cores.to_value()),
+            ("copy_rate".to_string(), self.copy_rate.to_value()),
+            ("bus_bw".to_string(), self.bus_bw.to_value()),
+            ("reduce_rate".to_string(), self.reduce_rate.to_value()),
+            (
+                "reduce_rate_avx".to_string(),
+                self.reduce_rate_avx.to_value(),
+            ),
+            ("flag_latency".to_string(), self.flag_latency.to_value()),
+            ("sm_chunk".to_string(), self.sm_chunk.to_value()),
+            ("solo_setup".to_string(), self.solo_setup.to_value()),
+        ];
+        if self.xsocket_bus_factor != 1.0 {
+            map.push((
+                "xsocket_bus_factor".to_string(),
+                self.xsocket_bus_factor.to_value(),
+            ));
+        }
+        Value::Map(map)
+    }
+}
+
+impl Deserialize for NodeParams {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let field = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| Error::custom(format!("missing field {key}")))
+        };
+        Ok(NodeParams {
+            cores: usize::from_value(field("cores")?)?,
+            copy_rate: f64::from_value(field("copy_rate")?)?,
+            bus_bw: f64::from_value(field("bus_bw")?)?,
+            reduce_rate: f64::from_value(field("reduce_rate")?)?,
+            reduce_rate_avx: f64::from_value(field("reduce_rate_avx")?)?,
+            flag_latency: Time::from_value(field("flag_latency")?)?,
+            sm_chunk: u64::from_value(field("sm_chunk")?)?,
+            solo_setup: Time::from_value(field("solo_setup")?)?,
+            xsocket_bus_factor: match v.get("xsocket_bus_factor") {
+                Some(x) => f64::from_value(x)?,
+                None => 1.0,
+            },
+        })
+    }
 }
 
 /// Network parameters.
@@ -68,6 +125,18 @@ impl NodeParams {
     #[inline]
     pub fn bus_time(&self, bytes: u64) -> Time {
         Time::for_bytes(bytes, self.bus_bw)
+    }
+
+    /// Bus occupancy for `bytes`, derated by the cross-socket factor when
+    /// the transfer crosses a shared-memory-domain boundary. With the
+    /// neutral factor (1.0) this is exactly [`NodeParams::bus_time`].
+    #[inline]
+    pub fn bus_time_crossing(&self, bytes: u64, cross_domain: bool) -> Time {
+        if cross_domain {
+            Time::for_bytes(bytes, self.bus_bw / self.xsocket_bus_factor)
+        } else {
+            self.bus_time(bytes)
+        }
     }
 
     /// Local reduction compute time over `bytes`.
@@ -116,6 +185,7 @@ mod tests {
             flag_latency: Time::from_ns(150),
             sm_chunk: 8 * 1024,
             solo_setup: Time::from_us(2),
+            xsocket_bus_factor: 1.0,
         }
     }
 
@@ -149,5 +219,29 @@ mod tests {
         assert_eq!(net.wire_time(10_000_000_000), Time::from_secs_f64(1.0));
         // DMA charge is bytes/bus_bw when factor is 1.
         assert_eq!(net.dma_bus_time(80_000, &n), Time::from_us(1));
+    }
+
+    #[test]
+    fn neutral_xsocket_factor_is_free_and_unserialized() {
+        let n = node();
+        assert_eq!(n.bus_time_crossing(1 << 20, true), n.bus_time(1 << 20));
+        let json = serde_json::to_string(&n).expect("serialize");
+        assert!(
+            !json.contains("xsocket_bus_factor"),
+            "neutral factor must keep the historical JSON form: {json}"
+        );
+        let back: NodeParams = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.xsocket_bus_factor, 1.0);
+    }
+
+    #[test]
+    fn xsocket_factor_roundtrips_and_derates_bus() {
+        let mut n = node();
+        n.xsocket_bus_factor = 1.6;
+        assert!(n.bus_time_crossing(1 << 20, true) > n.bus_time(1 << 20));
+        assert_eq!(n.bus_time_crossing(1 << 20, false), n.bus_time(1 << 20));
+        let json = serde_json::to_string(&n).expect("serialize");
+        let back: NodeParams = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.xsocket_bus_factor, 1.6);
     }
 }

@@ -34,6 +34,7 @@ pub fn shaheen2(nodes: usize) -> MachinePreset {
             flag_latency: Time::from_ns(180),
             sm_chunk: 8 * 1024,
             solo_setup: Time::from_us(2),
+            xsocket_bus_factor: 1.0,
         },
         net: NetParams {
             // Aries: ~10 GB/s injection per direction, ~1.3 us latency.
@@ -67,6 +68,7 @@ pub fn stampede2(nodes: usize) -> MachinePreset {
             flag_latency: Time::from_ns(160),
             sm_chunk: 8 * 1024,
             solo_setup: Time::from_us(2),
+            xsocket_bus_factor: 1.0,
         },
         net: NetParams {
             // Omni-Path 100 Gb/s ≈ 12.3 GB/s, ~1.1 us latency.
@@ -101,6 +103,7 @@ pub fn mini(nodes: usize, ppn: usize) -> MachinePreset {
             flag_latency: Time::from_ns(150),
             sm_chunk: 8 * 1024,
             solo_setup: Time::from_us(2),
+            xsocket_bus_factor: 1.0,
         },
         net: NetParams {
             nic_bw: 10e9,
@@ -109,6 +112,87 @@ pub fn mini(nodes: usize, ppn: usize) -> MachinePreset {
             core_bw: None,
         },
     }
+}
+
+/// The link a hierarchy level communicates over, for reporting and docs:
+/// the effective bandwidth and latency between peer groups of that level.
+#[derive(Debug, Clone, Serialize)]
+pub struct LevelLink {
+    /// Level index (0 = outermost).
+    pub level: usize,
+    pub label: String,
+    /// Bytes/s between two endpoints of this level.
+    pub bandwidth: f64,
+    pub latency: Time,
+}
+
+impl MachinePreset {
+    /// Per-level link parameters, outermost first: level 0 is the network,
+    /// deeper levels the (possibly socket-derated) node memory system.
+    pub fn level_links(&self) -> Vec<LevelLink> {
+        let depth = self.topology.depth();
+        let mut links = vec![LevelLink {
+            level: 0,
+            label: "inter-node".to_string(),
+            bandwidth: self.net.nic_bw,
+            latency: self.net.latency,
+        }];
+        for k in 1..depth {
+            // Every level but the innermost crosses the SM-domain boundary.
+            let crosses = k + 1 < depth;
+            links.push(LevelLink {
+                level: k,
+                label: if crosses {
+                    "cross-socket".to_string()
+                } else {
+                    "intra-socket".to_string()
+                },
+                bandwidth: if crosses {
+                    self.node.bus_bw / self.node.xsocket_bus_factor
+                } else {
+                    self.node.bus_bw
+                },
+                latency: self.node.flag_latency,
+            });
+        }
+        links
+    }
+}
+
+/// Split a preset's nodes into `sockets` shared-memory domains, turning a
+/// two-level machine into a three-level one (`[nodes, sockets, ppn /
+/// sockets]`). Intra-node transfers that cross the socket boundary pay
+/// `xsocket_bus_factor` extra bus time. Panics unless ppn divides evenly.
+pub fn socketize(base: MachinePreset, sockets: usize, xsocket_bus_factor: f64) -> MachinePreset {
+    assert!(sockets > 0, "need at least one socket");
+    let nodes = base.topology.nodes();
+    let ppn = base.topology.ppn();
+    assert_eq!(
+        ppn % sockets,
+        0,
+        "{} ranks per node cannot split into {sockets} sockets",
+        ppn
+    );
+    let mut m = base;
+    m.topology = Topology::from_levels(&[nodes, sockets, ppn / sockets]);
+    m.node.xsocket_bus_factor = xsocket_bus_factor;
+    m
+}
+
+/// Shaheen II with its physical socket structure exposed: the XC40 node is
+/// a dual-socket 16-core Haswell, so the three-level form is
+/// `[nodes, 2, 16]` with a QPI-like cross-socket bus derating.
+pub fn shaheen2_sockets(nodes: usize) -> MachinePreset {
+    let mut m = socketize(shaheen2(nodes), 2, 1.6);
+    m.name = "shaheen2s";
+    m
+}
+
+/// A small three-level machine for tests: `nodes × sockets × cores`.
+pub fn mini3(nodes: usize, sockets: usize, cores: usize) -> MachinePreset {
+    let mut m = socketize(mini(nodes, sockets * cores), sockets, 1.5);
+    m.name = "mini3";
+    m
 }
 
 #[cfg(test)]
@@ -154,5 +238,37 @@ mod tests {
             assert!(m.node.flag_latency < m.net.latency, "{}", m.name);
             assert!(m.node.bus_bw > m.net.nic_bw, "{}", m.name);
         }
+    }
+
+    #[test]
+    fn socketized_presets_keep_world_size() {
+        let flat = shaheen2(4);
+        let deep = shaheen2_sockets(4);
+        assert_eq!(deep.topology.world_size(), flat.topology.world_size());
+        assert_eq!(deep.topology.levels(), &[4, 2, 16]);
+        assert!(deep.node.xsocket_bus_factor > 1.0);
+        let m3 = mini3(3, 2, 2);
+        assert_eq!(m3.topology.levels(), &[3, 2, 2]);
+        assert_eq!(m3.topology.ppn(), 4);
+    }
+
+    #[test]
+    fn level_links_are_ordered_fastest_innermost() {
+        let deep = shaheen2_sockets(4);
+        let links = deep.level_links();
+        assert_eq!(links.len(), 3);
+        assert!(links[0].bandwidth < links[1].bandwidth);
+        assert!(links[1].bandwidth < links[2].bandwidth);
+        assert!(links[0].latency > links[2].latency);
+        // Two-level presets report the classic pair.
+        let flat = mini(2, 4).level_links();
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat[1].label, "intra-socket");
+    }
+
+    #[test]
+    #[should_panic]
+    fn socketize_requires_even_split() {
+        socketize(mini(2, 5), 2, 1.5);
     }
 }

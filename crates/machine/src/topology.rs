@@ -1,12 +1,25 @@
-//! Cluster topology: `n` nodes × `p` ranks per node.
+//! Cluster topology: an ordered list of hardware levels.
 //!
 //! The paper restricts HAN to the two levels exposed portably by
-//! `MPI_Comm_split_type` (intra-node / inter-node), so the topology is a
-//! flat grid of nodes; rank `r` lives on node `r / ppn` with local index
-//! `r % ppn` (block placement, the `--map-by core` default the paper's
-//! experiments use).
+//! `MPI_Comm_split_type` (intra-node / inter-node); this type keeps that
+//! two-level form as the common case (`Topology::new(nodes, ppn)`) but is
+//! built from a general **level-extent vector** — e.g. `[nodes, sockets,
+//! cores]` — so the hierarchy the paper names as future work (NUMA,
+//! sockets, switches) is first-class. Rank placement is block-major at
+//! every level (the `--map-by core` default the paper's experiments use):
+//! rank `r` lives on node `r / ppn` with local index `r % ppn`, and more
+//! generally the level-`k` group of `r` is `r / stride(k)` where
+//! `stride(k)` is the number of ranks under one level-`k` group.
+//!
+//! Serialization keeps the historical two-level `{nodes, ppn}` JSON form
+//! for depth-2 topologies (so existing preset fingerprints, persisted
+//! cost caches, and tuned tables stay valid) and uses `{levels: [...]}`
+//! only for deeper hierarchies; deserialization accepts both.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Maximum supported hierarchy depth (nodes, sockets, NUMA, cores).
+pub const MAX_LEVELS: usize = 4;
 
 /// Where a world rank lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -15,55 +28,128 @@ pub struct Location {
     pub local: usize,
 }
 
-/// An `n`-node × `p`-process-per-node cluster layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// A cluster layout described by per-level extents. Depth-2 instances
+/// behave exactly like the original `nodes × ppn` grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Topology {
-    nodes: usize,
-    ppn: usize,
+    /// Extents per level, outermost first; unused tail entries are 1.
+    extents: [usize; MAX_LEVELS],
+    depth: usize,
 }
 
 impl Topology {
-    /// Create a topology; panics on zero nodes or zero ppn (an empty
-    /// machine cannot run any program).
+    /// Create the classic two-level topology; panics on zero nodes or
+    /// zero ppn (an empty machine cannot run any program).
     pub fn new(nodes: usize, ppn: usize) -> Self {
         assert!(nodes > 0, "topology needs at least one node");
         assert!(ppn > 0, "topology needs at least one rank per node");
-        Topology { nodes, ppn }
+        Topology::from_levels(&[nodes, ppn])
+    }
+
+    /// Create a topology from an ordered level-extent list (outermost
+    /// first, e.g. `[nodes, sockets, cores_per_socket]`). Panics on an
+    /// empty list, a zero extent, or more than [`MAX_LEVELS`] levels.
+    pub fn from_levels(levels: &[usize]) -> Self {
+        assert!(!levels.is_empty(), "topology needs at least one level");
+        assert!(
+            levels.len() <= MAX_LEVELS,
+            "topology supports at most {MAX_LEVELS} levels, got {}",
+            levels.len()
+        );
+        assert!(
+            levels.iter().all(|&e| e > 0),
+            "every level extent must be positive: {levels:?}"
+        );
+        let mut extents = [1usize; MAX_LEVELS];
+        extents[..levels.len()].copy_from_slice(levels);
+        Topology {
+            extents,
+            depth: levels.len(),
+        }
+    }
+
+    /// Number of hierarchy levels.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The level-extent vector, outermost first.
+    #[inline]
+    pub fn levels(&self) -> &[usize] {
+        &self.extents[..self.depth]
+    }
+
+    /// Extent of level `k` (0 = outermost).
+    #[inline]
+    pub fn extent(&self, k: usize) -> usize {
+        self.extents[k]
     }
 
     #[inline]
     pub fn nodes(&self) -> usize {
-        self.nodes
+        self.extents[0]
     }
 
+    /// Ranks per node: the product of all intra-node extents.
     #[inline]
     pub fn ppn(&self) -> usize {
-        self.ppn
+        self.extents[1..self.depth].iter().product()
     }
 
     #[inline]
     pub fn world_size(&self) -> usize {
-        self.nodes * self.ppn
+        self.extents[..self.depth].iter().product()
+    }
+
+    /// Number of ranks under one level-`k` group (the group "stride").
+    #[inline]
+    pub fn group_size(&self, k: usize) -> usize {
+        self.extents[k + 1..self.depth].iter().product()
+    }
+
+    /// Index of the level-`k` group containing `rank`. Level-0 groups are
+    /// nodes; level-`depth-1` groups are individual ranks. Group indices
+    /// are global (distinct across parent groups).
+    #[inline]
+    pub fn group_of(&self, rank: usize, k: usize) -> usize {
+        rank / self.group_size(k)
+    }
+
+    /// Do two world ranks share their level-`k` group?
+    #[inline]
+    pub fn same_group(&self, a: usize, b: usize, k: usize) -> bool {
+        self.group_of(a, k) == self.group_of(b, k)
+    }
+
+    /// The innermost shared-memory domain of a rank (the level just above
+    /// individual ranks: the socket on a 3-level machine, the whole node
+    /// on a 2-level one). Transfers between ranks on the same node but in
+    /// different domains pay the cross-socket bus penalty.
+    #[inline]
+    pub fn sm_domain_of(&self, rank: usize) -> usize {
+        self.group_of(rank, self.depth.saturating_sub(2))
     }
 
     #[inline]
     pub fn location(&self, rank: usize) -> Location {
         debug_assert!(rank < self.world_size(), "rank {rank} out of range");
+        let ppn = self.ppn();
         Location {
-            node: rank / self.ppn,
-            local: rank % self.ppn,
+            node: rank / ppn,
+            local: rank % ppn,
         }
     }
 
     #[inline]
     pub fn node_of(&self, rank: usize) -> usize {
-        rank / self.ppn
+        rank / self.ppn()
     }
 
     #[inline]
     pub fn rank_of(&self, node: usize, local: usize) -> usize {
-        debug_assert!(node < self.nodes && local < self.ppn);
-        node * self.ppn + local
+        debug_assert!(node < self.nodes() && local < self.ppn());
+        node * self.ppn() + local
     }
 
     /// Are two world ranks on the same node?
@@ -74,8 +160,60 @@ impl Topology {
 
     /// World ranks living on `node`, in local order.
     pub fn node_ranks(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
-        let base = node * self.ppn;
-        base..base + self.ppn
+        let base = node * self.ppn();
+        base..base + self.ppn()
+    }
+}
+
+impl Serialize for Topology {
+    fn to_value(&self) -> Value {
+        if self.depth == 2 {
+            // Historical form: keeps preset fingerprints (and therefore
+            // persisted caches and tables) stable for two-level machines.
+            Value::Map(vec![
+                ("nodes".to_string(), Value::UInt(self.nodes() as u64)),
+                ("ppn".to_string(), Value::UInt(self.ppn() as u64)),
+            ])
+        } else {
+            let levels = self
+                .levels()
+                .iter()
+                .map(|&e| Value::UInt(e as u64))
+                .collect();
+            Value::Map(vec![("levels".to_string(), Value::Seq(levels))])
+        }
+    }
+}
+
+impl Deserialize for Topology {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        if let Some(seq) = v.get("levels").and_then(|l| l.as_array()) {
+            let levels: Vec<usize> = seq
+                .iter()
+                .map(|e| {
+                    e.as_u64()
+                        .map(|x| x as usize)
+                        .ok_or_else(|| Error::custom("level extent must be an integer"))
+                })
+                .collect::<Result<_, _>>()?;
+            if levels.is_empty() || levels.len() > MAX_LEVELS || levels.contains(&0) {
+                return Err(Error::custom("invalid level-extent vector"));
+            }
+            return Ok(Topology::from_levels(&levels));
+        }
+        let nodes = v
+            .get("nodes")
+            .and_then(|x| x.as_u64())
+            .ok_or_else(|| Error::custom("topology needs nodes or levels"))?
+            as usize;
+        let ppn = v
+            .get("ppn")
+            .and_then(|x| x.as_u64())
+            .ok_or_else(|| Error::custom("topology needs ppn"))? as usize;
+        if nodes == 0 || ppn == 0 {
+            return Err(Error::custom("topology extents must be positive"));
+        }
+        Ok(Topology::new(nodes, ppn))
     }
 }
 
@@ -126,5 +264,69 @@ mod tests {
             let loc = t.location(r);
             assert_eq!(t.rank_of(loc.node, loc.local), r);
         }
+    }
+
+    #[test]
+    fn two_level_is_depth_two() {
+        let t = Topology::new(4, 8);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.levels(), &[4, 8]);
+        assert_eq!(t, Topology::from_levels(&[4, 8]));
+        // Innermost SM domain of a two-level machine is the whole node.
+        assert_eq!(t.sm_domain_of(9), t.node_of(9));
+    }
+
+    #[test]
+    fn three_level_grouping() {
+        // 2 nodes × 2 sockets × 3 cores.
+        let t = Topology::from_levels(&[2, 2, 3]);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.nodes(), 2);
+        assert_eq!(t.ppn(), 6);
+        assert_eq!(t.world_size(), 12);
+        // Level-0 groups are nodes.
+        assert_eq!(t.group_of(7, 0), 1);
+        assert_eq!(t.group_of(7, 0), t.node_of(7));
+        // Level-1 groups are sockets (global indices).
+        assert_eq!(t.group_of(2, 1), 0);
+        assert_eq!(t.group_of(3, 1), 1);
+        assert_eq!(t.group_of(7, 1), 2);
+        // Level-2 groups are individual ranks.
+        assert_eq!(t.group_of(7, 2), 7);
+        // Same node, different socket.
+        assert!(t.same_node(2, 3));
+        assert!(!t.same_group(2, 3, 1));
+        assert_eq!(t.sm_domain_of(2), 0);
+        assert_eq!(t.sm_domain_of(3), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_level_extent_rejected() {
+        Topology::from_levels(&[2, 0, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_levels_rejected() {
+        Topology::from_levels(&[2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn serde_keeps_two_level_form() {
+        let t = Topology::new(4, 8);
+        let json = serde_json::to_string(&t).expect("serialize");
+        assert_eq!(json, r#"{"nodes":4,"ppn":8}"#);
+        let back: Topology = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn serde_three_level_roundtrip() {
+        let t = Topology::from_levels(&[2, 2, 4]);
+        let json = serde_json::to_string(&t).expect("serialize");
+        assert!(json.contains("levels"), "deep form: {json}");
+        let back: Topology = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, t);
     }
 }

@@ -79,6 +79,32 @@ impl Comm {
         (low, Comm::from_ranks(leaders))
     }
 
+    /// Split this communicator by the topology's level-`k` groups — the
+    /// per-level generalization of [`Comm::split_node`] (level 0 ≡ nodes).
+    ///
+    /// Returns `(sub_comms, leader_comm)`: one communicator per level-`k`
+    /// group with members, in order of each group's **first appearance in
+    /// this communicator's rank order** (so a root-reordered comm keeps
+    /// its data-holder's group first), and the communicator of group
+    /// leaders (each group's first member in that same order).
+    pub fn split_level(&self, topo: &Topology, k: usize) -> (Vec<Comm>, Comm) {
+        let mut order: Vec<usize> = Vec::new(); // group ids, first-appearance order
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for &r in self.ranks.iter() {
+            let g = topo.group_of(r, k);
+            match order.iter().position(|&x| x == g) {
+                Some(i) => groups[i].push(r),
+                None => {
+                    order.push(g);
+                    groups.push(vec![r]);
+                }
+            }
+        }
+        let leaders: Vec<usize> = groups.iter().map(|g| g[0]).collect();
+        let subs = groups.into_iter().map(Comm::from_ranks).collect();
+        (subs, Comm::from_ranks(leaders))
+    }
+
     /// The low comm containing `world` rank, from a `split_node` result.
     pub fn low_comm_of<'a>(low: &'a [Comm], topo: &Topology, world: usize) -> &'a Comm {
         low.iter()
@@ -136,5 +162,42 @@ mod tests {
     #[should_panic]
     fn empty_comm_rejected() {
         Comm::from_ranks(vec![]);
+    }
+
+    #[test]
+    fn split_level_zero_matches_split_node() {
+        let topo = Topology::new(3, 4);
+        let world = Comm::world(12);
+        let (low, up) = world.split_node(&topo);
+        let (subs, leaders) = world.split_level(&topo, 0);
+        assert_eq!(low.len(), subs.len());
+        for (a, b) in low.iter().zip(&subs) {
+            assert_eq!(a.ranks(), b.ranks());
+        }
+        assert_eq!(up.ranks(), leaders.ranks());
+    }
+
+    #[test]
+    fn split_level_groups_sockets() {
+        // 2 nodes × 2 sockets × 2 cores; split one node comm by sockets.
+        let topo = Topology::from_levels(&[2, 2, 2]);
+        let node0 = Comm::from_ranks(vec![0, 1, 2, 3]);
+        let (subs, leaders) = node0.split_level(&topo, 1);
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].ranks(), &[0, 1]);
+        assert_eq!(subs[1].ranks(), &[2, 3]);
+        assert_eq!(leaders.ranks(), &[0, 2]);
+    }
+
+    #[test]
+    fn split_level_respects_comm_order() {
+        // A root-reordered node comm: the root's socket group comes first
+        // and the root leads it, mirroring split_with_root's convention.
+        let topo = Topology::from_levels(&[2, 2, 2]);
+        let reordered = Comm::from_ranks(vec![3, 1, 0, 2]);
+        let (subs, leaders) = reordered.split_level(&topo, 1);
+        assert_eq!(subs[0].ranks(), &[3, 2]);
+        assert_eq!(subs[1].ranks(), &[1, 0]);
+        assert_eq!(leaders.ranks(), &[3, 1]);
     }
 }

@@ -331,6 +331,14 @@ impl<'a> Exec<'a> {
         self.m.topo.same_node(meta.src as usize, meta.dst as usize)
     }
 
+    /// Do two ranks live in different shared-memory domains (sockets)?
+    /// Always false on two-level topologies, where the domain is the node —
+    /// deeper hierarchies pay `xsocket_bus_factor` on such transfers.
+    #[inline]
+    fn cross_domain(&self, a: u32, b: u32) -> bool {
+        self.m.topo.sm_domain_of(a as usize) != self.m.topo.sm_domain_of(b as usize)
+    }
+
     fn on_ready(&mut self, t: Time, op: OpId) {
         let o = &self.prog.ops[op.0 as usize];
         let rank = o.rank as usize;
@@ -344,17 +352,19 @@ impl<'a> Exec<'a> {
                 self.q.push(e, Ev::Finish(op));
             }
             OpKind::Copy { bytes, .. } | OpKind::CrossCopy { bytes, .. } => {
+                let mut cross = false;
                 if let OpKind::CrossCopy { from, .. } = o.kind {
                     debug_assert!(
                         self.m.topo.same_node(from as usize, rank),
                         "CrossCopy across nodes: {from} -> {rank}"
                     );
+                    cross = self.cross_domain(from, o.rank);
                 }
                 let cpu = self.m.cpu(rank);
                 let bus = self.m.bus(node);
                 let cdur = self.m.node.copy_time(bytes);
                 let (s, e) = self.m.acquire(cpu, t, cdur);
-                let bdur = self.m.node.bus_time(bytes);
+                let bdur = self.m.node.bus_time_crossing(bytes, cross);
                 let (_, be) = self.m.acquire(bus, s, bdur);
                 self.q.push(e.max(be), Ev::Finish(op));
             }
@@ -364,17 +374,22 @@ impl<'a> Exec<'a> {
             | OpKind::ReduceFrom {
                 bytes, vectorized, ..
             } => {
+                let mut cross = false;
                 if let OpKind::ReduceFrom { from, .. } = o.kind {
                     debug_assert!(
                         self.m.topo.same_node(from as usize, rank),
                         "ReduceFrom across nodes: {from} -> {rank}"
                     );
+                    cross = self.cross_domain(from, o.rank);
                 }
                 let cpu = self.m.cpu(rank);
                 let bus = self.m.bus(node);
                 let rdur = self.m.node.reduce_time(bytes, vectorized);
                 let (s, e) = self.m.acquire(cpu, t, rdur);
-                let bdur = self.m.node.bus_time(bytes * REDUCE_BUS_FACTOR);
+                let bdur = self
+                    .m
+                    .node
+                    .bus_time_crossing(bytes * REDUCE_BUS_FACTOR, cross);
                 let (_, be) = self.m.acquire(bus, s, bdur);
                 self.q.push(e.max(be), Ev::Finish(op));
             }
@@ -547,8 +562,13 @@ impl<'a> Exec<'a> {
         let cpu = self.m.cpu(rank);
         let (s, e) = self.m.acquire(cpu, t, dur);
         let fin = if eager && bytes > 0 {
+            // The receiver's copy-out reads the sender's bounce buffer:
+            // within a node this can cross the socket interconnect.
+            let cross = self.is_intra(msg) && self.cross_domain(meta.src, meta.dst);
             let bus = self.m.bus(node);
-            let (_, be) = self.m.acquire(bus, s, self.m.node.bus_time(bytes));
+            let (_, be) = self
+                .m
+                .acquire(bus, s, self.m.node.bus_time_crossing(bytes, cross));
             e.max(be)
         } else {
             e
@@ -567,8 +587,11 @@ impl<'a> Exec<'a> {
         let cpu = self.m.cpu(rank);
         let dur = self.opts.p2p.o_recv + self.m.node.copy_time(bytes);
         let (s, e) = self.m.acquire(cpu, t, dur);
+        let cross = self.cross_domain(meta.src, meta.dst);
         let bus = self.m.bus(node);
-        let (_, be) = self.m.acquire(bus, s, self.m.node.bus_time(bytes));
+        let (_, be) = self
+            .m
+            .acquire(bus, s, self.m.node.bus_time_crossing(bytes, cross));
         let fin = e.max(be);
         let st = &self.msgs[msg.0 as usize];
         let (send_op, recv_op) = (st.send_op.expect("send"), st.recv_op.expect("recv"));

@@ -45,4 +45,4 @@ pub use comm::Comm;
 pub use datatype::{DataType, ReduceOp};
 pub use exec::{execute, execute_seeded, execute_with_memory, ExecMode, ExecOpts, Report};
 pub use program::{Op, OpId, OpKind, Program};
-pub use trace::{trace_execution, Trace};
+pub use trace::{trace_execution, Span, Trace};

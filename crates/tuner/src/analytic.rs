@@ -159,10 +159,10 @@ mod tests {
         let preset = mini(4, 4);
         let cfg = HanConfig::default().with_fs(256 * 1024);
         let m = 4 << 20;
-        let actual = time_coll(&Han::with_config(cfg), &preset, Coll::Bcast, m, 0);
+        let actual = time_coll(&Han::with_config(cfg), &preset, Coll::Bcast, m, 0).unwrap();
 
         let mut tb = crate::taskbench::TaskBench::new(&preset);
-        let task_pred = crate::model::predict(&mut tb, &cfg, Coll::Bcast, m);
+        let task_pred = crate::model::predict(&mut tb, &cfg, Coll::Bcast, m).unwrap();
         let task_err = mean_relative_error(&[(task_pred, actual)]);
 
         for model in [AnalyticModel::Hockney, AnalyticModel::LogGp] {

@@ -40,14 +40,9 @@ impl DecisionTree {
     pub fn distill(table: &LookupTable) -> Self {
         let mut rules: HashMap<String, Vec<Rule>> = HashMap::new();
         let mut samples = 0;
-        for coll in [
-            Coll::Bcast,
-            Coll::Allreduce,
-            Coll::Reduce,
-            Coll::Gather,
-            Coll::Scatter,
-            Coll::Allgather,
-        ] {
+        // The canonical list, so no tuned collective (notably Barrier,
+        // once dropped by an explicit enumeration here) is silently lost.
+        for coll in Coll::ALL {
             let sizes = table.sampled_sizes(coll);
             if sizes.is_empty() {
                 continue;
@@ -197,6 +192,16 @@ mod tests {
         ] {
             assert_eq!(d.decide(Coll::Bcast, m).unwrap().fs, fs, "at {m}");
         }
+    }
+
+    #[test]
+    fn barrier_rules_survive_distillation() {
+        let mut t = LookupTable::new(4, 8);
+        t.insert(Coll::Barrier, 0, HanConfig::default(), Time::from_us(1));
+        let d = DecisionTree::distill(&t);
+        assert_eq!(d.rules(Coll::Barrier).len(), 1);
+        assert!(d.decide(Coll::Barrier, 64).is_some());
+        assert_eq!(d.samples, 1);
     }
 
     #[test]

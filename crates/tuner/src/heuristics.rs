@@ -24,9 +24,15 @@ pub fn admit(cfg: &HanConfig, m: u64, nodes: usize) -> bool {
 
 /// Segment-size-only rules (usable before the message size is known).
 pub fn admit_seg(cfg: &HanConfig, _nodes: usize) -> bool {
-    match cfg.smod {
-        IntraModule::Solo => cfg.fs >= SOLO_MIN_SEG,
-        IntraModule::Sm => cfg.fs < SOLO_MIN_SEG,
+    admit_module(cfg.smod, cfg.fs)
+}
+
+/// The SM/SOLO crossover rule for one submodule choice — applied to the
+/// Table-II `smod` and to every per-level `deep` override alike.
+pub fn admit_module(smod: IntraModule, fs: u64) -> bool {
+    match smod {
+        IntraModule::Solo => fs >= SOLO_MIN_SEG,
+        IntraModule::Sm => fs < SOLO_MIN_SEG,
     }
 }
 
@@ -54,6 +60,7 @@ mod tests {
             iralg: alg,
             ibs: None,
             irs: None,
+            deep: [None; han_core::MAX_DEEP],
         }
     }
 

@@ -17,6 +17,7 @@
 //! benchmarking — the heart of the paper's tuning-time reduction.
 
 use crate::taskbench::TaskBench;
+use han_colls::stack::Unsupported;
 use han_colls::Coll;
 use han_core::task::TaskSpec;
 use han_core::HanConfig;
@@ -47,13 +48,25 @@ pub fn allreduce_sequence(u: usize) -> Vec<TaskSpec> {
 }
 
 /// Predict the cost of `coll` on message size `m` under `cfg`, using (and
-/// populating) the task benchmark cache.
-pub fn predict(tb: &mut TaskBench, cfg: &HanConfig, coll: Coll, m: u64) -> Time {
+/// populating) the task benchmark cache. The paper derives task sequences
+/// only for Bcast (eq. 3) and Allreduce (eq. 4); any other collective is
+/// reported as [`Unsupported`] so sweeps skip it rather than panic.
+pub fn predict(
+    tb: &mut TaskBench,
+    cfg: &HanConfig,
+    coll: Coll,
+    m: u64,
+) -> Result<Time, Unsupported> {
     let u = cfg.segments(m) as usize;
     let seq = match coll {
         Coll::Bcast => bcast_sequence(u),
         Coll::Allreduce => allreduce_sequence(u),
-        other => unimplemented!("cost model for {}", other.name()),
+        other => {
+            return Err(Unsupported {
+                stack: "HAN task-based cost model".to_string(),
+                coll: other,
+            })
+        }
     };
     let seg = cfg.fs.min(m.max(1));
     let nl = tb.leaders();
@@ -64,7 +77,7 @@ pub fn predict(tb: &mut TaskBench, cfg: &HanConfig, coll: Coll, m: u64) -> Time 
             *a += *c;
         }
     }
-    acc.into_iter().max().unwrap_or(Time::ZERO)
+    Ok(acc.into_iter().max().unwrap_or(Time::ZERO))
 }
 
 #[cfg(test)]
@@ -130,8 +143,8 @@ mod tests {
         let mut actuals = Vec::new();
         for fs in [128 * 1024u64, 512 * 1024, 2 << 20] {
             let cfg = HanConfig::default().with_fs(fs);
-            let pred = predict(&mut tb, &cfg, Coll::Bcast, m);
-            let act = time_coll(&Han::with_config(cfg), &preset, Coll::Bcast, m, 0);
+            let pred = predict(&mut tb, &cfg, Coll::Bcast, m).unwrap();
+            let act = time_coll(&Han::with_config(cfg), &preset, Coll::Bcast, m, 0).unwrap();
             let ratio = pred.as_ps() as f64 / act.as_ps() as f64;
             assert!(
                 (0.5..2.0).contains(&ratio),
@@ -161,11 +174,20 @@ mod tests {
         let preset = mini(4, 4);
         let mut tb = TaskBench::new(&preset);
         let cfg = HanConfig::default().with_fs(256 * 1024);
-        predict(&mut tb, &cfg, Coll::Bcast, 1 << 20);
+        predict(&mut tb, &cfg, Coll::Bcast, 1 << 20).unwrap();
         let runs = tb.runs;
         // Larger message, same segment size: only cache hits.
-        predict(&mut tb, &cfg, Coll::Bcast, 16 << 20);
+        predict(&mut tb, &cfg, Coll::Bcast, 16 << 20).unwrap();
         assert_eq!(tb.runs, runs, "no new benchmarks for a new message size");
+    }
+
+    #[test]
+    fn unmodelled_collective_is_reported_not_panicked() {
+        let preset = mini(2, 2);
+        let mut tb = TaskBench::new(&preset);
+        let err = predict(&mut tb, &HanConfig::default(), Coll::Gather, 1024).unwrap_err();
+        assert_eq!(err.coll, Coll::Gather);
+        assert!(err.to_string().contains("not implemented"), "{err}");
     }
 
     #[test]
@@ -176,8 +198,8 @@ mod tests {
         let cfg = HanConfig::default()
             .with_fs(512 * 1024)
             .with_intra(han_colls::IntraModule::Solo);
-        let pred = predict(&mut tb, &cfg, Coll::Allreduce, m);
-        let act = time_coll(&Han::with_config(cfg), &preset, Coll::Allreduce, m, 0);
+        let pred = predict(&mut tb, &cfg, Coll::Allreduce, m).unwrap();
+        let act = time_coll(&Han::with_config(cfg), &preset, Coll::Allreduce, m, 0).unwrap();
         let ratio = pred.as_ps() as f64 / act.as_ps() as f64;
         assert!(
             (0.5..2.0).contains(&ratio),

@@ -18,7 +18,7 @@ use crate::model::predict;
 use crate::space::SearchSpace;
 use crate::table::LookupTable;
 use crate::taskbench::{TaskBench, BENCH_ITERS};
-use han_colls::stack::{time_coll_on, Coll};
+use han_colls::stack::{time_coll_on, Coll, Unsupported};
 use han_colls::MpiStack;
 use han_core::{Han, HanConfig};
 use han_machine::{Machine, MachinePreset};
@@ -76,6 +76,15 @@ pub struct TuneResult {
     /// For the exhaustive strategies: every measured `(coll, m, cfg, cost)`
     /// sample, enabling best/median/average analysis (Fig. 9).
     pub samples: Vec<(Coll, u64, HanConfig, Time)>,
+    /// Collectives the stack or cost model declined, deduplicated — the
+    /// sweep skips them and reports here instead of panicking.
+    pub skipped: Vec<Unsupported>,
+}
+
+fn note_skip(skipped: &mut Vec<Unsupported>, e: Unsupported) {
+    if !skipped.contains(&e) {
+        skipped.push(e);
+    }
 }
 
 /// Run autotuning over `space` for the given collectives.
@@ -113,16 +122,16 @@ fn coll_cost(
     m: u64,
     cfg: HanConfig,
     cache: Option<&CostCache>,
-) -> Time {
+) -> Result<Time, Unsupported> {
     if let Some(t) = cache.and_then(|c| c.lookup_coll(coll, &cfg, m)) {
-        return t;
+        return Ok(t);
     }
     let han = Han::with_config(cfg);
-    let t = time_coll_on(&han, machine, preset, coll, m, 0);
+    let t = time_coll_on(&han, machine, preset, coll, m, 0)?;
     if let Some(c) = cache {
         c.record_coll(coll, &cfg, m, t);
     }
-    t
+    Ok(t)
 }
 
 fn tune_exhaustive(
@@ -132,10 +141,10 @@ fn tune_exhaustive(
     strategy: Strategy,
     cache: Option<Arc<CostCache>>,
 ) -> TuneResult {
-    let nodes = preset.topology.nodes();
-    let mut table = LookupTable::new(nodes, preset.topology.ppn());
+    let mut table = LookupTable::for_topology(&preset.topology);
     let mut tuning_time = Time::ZERO;
     let mut searches = 0u64;
+    let mut skipped: Vec<Unsupported> = Vec::new();
 
     // Enumerate every benchmark point up front in deterministic order.
     // Parallelism is work-stealing over this flat job list: large message
@@ -147,7 +156,7 @@ fn tune_exhaustive(
     let mut jobs: Vec<(Coll, u64, HanConfig)> = Vec::new();
     for &coll in colls {
         for &m in &space.msg_sizes {
-            for cfg in space.configs(m, nodes, strategy.heuristic()) {
+            for cfg in space.configs_for(m, &preset.topology, strategy.heuristic()) {
                 jobs.push((coll, m, cfg));
             }
         }
@@ -158,7 +167,7 @@ fn tune_exhaustive(
         .min(jobs.len().max(1));
 
     let next = AtomicUsize::new(0);
-    let mut costs: Vec<Time> = vec![Time::ZERO; jobs.len()];
+    let mut costs: Vec<Result<Time, Unsupported>> = Vec::with_capacity(jobs.len());
     std::thread::scope(|s| {
         let jobs = &jobs;
         let next = &next;
@@ -169,7 +178,7 @@ fn tune_exhaustive(
                     // One machine per worker, reset between jobs by the
                     // executor — never rebuilt from the preset.
                     let mut machine = Machine::from_preset(preset);
-                    let mut out: Vec<(usize, Time)> = Vec::new();
+                    let mut out: Vec<(usize, Result<Time, Unsupported>)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= jobs.len() {
@@ -183,18 +192,25 @@ fn tune_exhaustive(
                 })
             })
             .collect();
+        let mut merged: Vec<Option<Result<Time, Unsupported>>> = vec![None; jobs.len()];
         for h in handles {
             for (i, t) in h.join().unwrap() {
-                costs[i] = t;
+                merged[i] = Some(t);
             }
         }
+        costs.extend(merged.into_iter().map(|t| t.expect("every job ran")));
     });
 
     let mut samples = Vec::with_capacity(jobs.len());
-    for (&(coll, m, cfg), &t) in jobs.iter().zip(&costs) {
-        tuning_time += t * BENCH_ITERS;
-        searches += 1;
-        samples.push((coll, m, cfg, t));
+    for (&(coll, m, cfg), t) in jobs.iter().zip(&costs) {
+        match t {
+            Ok(t) => {
+                tuning_time += *t * BENCH_ITERS;
+                searches += 1;
+                samples.push((coll, m, cfg, *t));
+            }
+            Err(e) => note_skip(&mut skipped, e.clone()),
+        }
     }
 
     for &coll in colls {
@@ -215,6 +231,7 @@ fn tune_exhaustive(
         tuning_time,
         searches,
         samples,
+        skipped,
     }
 }
 
@@ -225,19 +242,25 @@ fn tune_task_based(
     strategy: Strategy,
     cache: Option<Arc<CostCache>>,
 ) -> TuneResult {
-    let nodes = preset.topology.nodes();
-    let mut table = LookupTable::new(nodes, preset.topology.ppn());
+    let mut table = LookupTable::for_topology(&preset.topology);
     let mut tb = TaskBench::new(preset);
     if let Some(cache) = cache {
         tb = tb.with_shared_cache(cache);
     }
     let mut samples = Vec::new();
+    let mut skipped: Vec<Unsupported> = Vec::new();
 
     for &coll in colls {
         for &m in &space.msg_sizes {
             let mut best: Option<(HanConfig, Time)> = None;
-            for cfg in space.configs(m, nodes, strategy.heuristic()) {
-                let t = predict(&mut tb, &cfg, coll, m);
+            for cfg in space.configs_for(m, &preset.topology, strategy.heuristic()) {
+                let t = match predict(&mut tb, &cfg, coll, m) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        note_skip(&mut skipped, e);
+                        continue;
+                    }
+                };
                 samples.push((coll, m, cfg, t));
                 if best.map(|(_, bt)| t < bt).unwrap_or(true) {
                     best = Some((cfg, t));
@@ -255,13 +278,19 @@ fn tune_task_based(
         tuning_time: tb.spent,
         searches: tb.runs,
         samples,
+        skipped,
     }
 }
 
 /// Measure the *achieved* collective latency of a tuned table: run the
 /// collective with the configuration the table selects (the red/green
 /// bars of Fig. 9).
-pub fn achieved_latency(preset: &MachinePreset, table: &LookupTable, coll: Coll, m: u64) -> Time {
+pub fn achieved_latency(
+    preset: &MachinePreset,
+    table: &LookupTable,
+    coll: Coll,
+    m: u64,
+) -> Result<Time, Unsupported> {
     achieved_latency_with_cache(preset, table, coll, m, None)
 }
 
@@ -273,7 +302,7 @@ pub fn achieved_latency_with_cache(
     coll: Coll,
     m: u64,
     cache: Option<&CostCache>,
-) -> Time {
+) -> Result<Time, Unsupported> {
     let cfg = table.nearest(coll, m).map(|e| e.cfg).unwrap_or_default();
     let han = Han::with_config(cfg);
     let _ = han.name();
@@ -331,8 +360,8 @@ mod tests {
         let tk = tune(&preset, &space, &[Coll::Bcast], Strategy::TaskBased);
         for &m in &space.msg_sizes {
             let best = ex.table.get(Coll::Bcast, m).unwrap();
-            let achieved = achieved_latency(&preset, &tk.table, Coll::Bcast, m);
-            let optimal = achieved_latency(&preset, &ex.table, Coll::Bcast, m);
+            let achieved = achieved_latency(&preset, &tk.table, Coll::Bcast, m).unwrap();
+            let optimal = achieved_latency(&preset, &ex.table, Coll::Bcast, m).unwrap();
             assert_eq!(
                 Time::from_ps(best.cost_ps),
                 optimal,
@@ -359,6 +388,24 @@ mod tests {
         );
         assert!(heur.searches < plain.searches);
         assert!(heur.tuning_time < plain.tuning_time);
+    }
+
+    #[test]
+    fn unmodelled_collectives_skip_and_report() {
+        let preset = mini(2, 2);
+        let space = tiny_space();
+        let tk = tune(
+            &preset,
+            &space,
+            &[Coll::Bcast, Coll::Reduce],
+            Strategy::TaskBased,
+        );
+        // Bcast tunes normally; Reduce (no task model) is skipped once,
+        // reported, and never reaches the table.
+        assert!(!tk.table.sampled_sizes(Coll::Bcast).is_empty());
+        assert!(tk.table.sampled_sizes(Coll::Reduce).is_empty());
+        assert_eq!(tk.skipped.len(), 1);
+        assert_eq!(tk.skipped[0].coll, Coll::Reduce);
     }
 
     #[test]

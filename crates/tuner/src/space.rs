@@ -3,7 +3,8 @@
 
 use crate::heuristics;
 use han_colls::{InterAlg, InterModule, IntraModule};
-use han_core::HanConfig;
+use han_core::{HanConfig, MAX_DEEP};
+use han_machine::Topology;
 use serde::{Deserialize, Serialize};
 
 /// The discrete search space over which autotuning runs. The continuous
@@ -91,6 +92,7 @@ impl SearchSpace {
                         iralg: alg,
                         ibs: None,
                         irs: None,
+                        deep: [None; MAX_DEEP],
                     };
                     if heuristic && !heuristics::admit(&cfg, m, nodes) {
                         continue;
@@ -118,6 +120,7 @@ impl SearchSpace {
                         iralg: alg,
                         ibs: None,
                         irs: None,
+                        deep: [None; MAX_DEEP],
                     };
                     // For seg-level pruning only segment-dependent rules
                     // apply (the chain rule needs m; use a permissive
@@ -126,6 +129,74 @@ impl SearchSpace {
                         continue;
                     }
                     out.push(cfg);
+                }
+            }
+        }
+        out
+    }
+
+    /// [`SearchSpace::configs`], generalized to an N-level topology: on a
+    /// two-level machine this is byte-identical to `configs`; deeper
+    /// machines additionally cross in per-level `deep` submodule overrides
+    /// for levels `2..depth`. A `deep` entry equal to the base `smod` is
+    /// redundant (the fallback already selects it), so only genuinely
+    /// distinct overrides are enumerated — the space grows by the number
+    /// of *observably different* per-level assignments, not `|intra|^d`.
+    pub fn configs_for(&self, m: u64, topo: &Topology, heuristic: bool) -> Vec<HanConfig> {
+        self.deepen(self.configs(m, topo.nodes(), heuristic), topo, heuristic)
+    }
+
+    /// [`SearchSpace::seg_configs`], generalized to an N-level topology
+    /// (same deep-override enumeration as [`SearchSpace::configs_for`]).
+    pub fn seg_configs_for(&self, topo: &Topology, heuristic: bool) -> Vec<HanConfig> {
+        self.deepen(self.seg_configs(topo.nodes(), heuristic), topo, heuristic)
+    }
+
+    /// Cross a two-level candidate list with per-level `deep` overrides for
+    /// the topology's levels below the node leader level.
+    fn deepen(&self, base: Vec<HanConfig>, topo: &Topology, heuristic: bool) -> Vec<HanConfig> {
+        let deep_levels = topo.depth().saturating_sub(2);
+        if deep_levels == 0 {
+            return base;
+        }
+        let mut out = Vec::new();
+        for cfg in base {
+            // Per deep level: keep the fallback (None) or override with a
+            // distinct submodule that the heuristics admit at this segment
+            // size.
+            let choices: Vec<Vec<Option<IntraModule>>> = (0..deep_levels)
+                .map(|_| {
+                    let mut c = vec![None];
+                    for &sm in &self.intra {
+                        if sm != cfg.smod && (!heuristic || heuristics::admit_module(sm, cfg.fs)) {
+                            c.push(Some(sm));
+                        }
+                    }
+                    c
+                })
+                .collect();
+            let mut assign = vec![0usize; deep_levels];
+            loop {
+                let mut c = cfg;
+                for (d, &i) in assign.iter().enumerate() {
+                    c.deep[d] = choices[d][i];
+                }
+                out.push(c);
+                // Odometer increment over the per-level choice lists.
+                let mut d = 0;
+                loop {
+                    if d == deep_levels {
+                        break;
+                    }
+                    assign[d] += 1;
+                    if assign[d] < choices[d].len() {
+                        break;
+                    }
+                    assign[d] = 0;
+                    d += 1;
+                }
+                if d == deep_levels {
+                    break;
                 }
             }
         }

@@ -26,11 +26,16 @@ pub struct Entry {
     pub cost_ps: u64,
 }
 
-/// The tuning output for one machine shape `(n, p)`.
+/// The tuning output for one machine shape — `(n, p)` plus, on machines
+/// with more than two hierarchy levels, the full level-extent vector the
+/// table was tuned for.
 #[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct LookupTable {
     pub nodes: usize,
     pub ppn: usize,
+    /// The topology's level extents, outermost first (`[nodes, ppn]` on a
+    /// two-level machine; e.g. `[nodes, sockets, cores]` on three).
+    pub levels: Vec<usize>,
     pub entries: Vec<Entry>,
 }
 
@@ -39,6 +44,18 @@ impl LookupTable {
         LookupTable {
             nodes,
             ppn,
+            levels: vec![nodes, ppn],
+            entries: Vec::new(),
+        }
+    }
+
+    /// A table keyed to an N-level topology (equals [`LookupTable::new`]
+    /// on two-level machines).
+    pub fn for_topology(topo: &han_machine::Topology) -> Self {
+        LookupTable {
+            nodes: topo.nodes(),
+            ppn: topo.ppn(),
+            levels: topo.levels().to_vec(),
             entries: Vec::new(),
         }
     }
@@ -177,6 +194,17 @@ mod tests {
             HanConfig::default().with_fs(1024)
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn levels_track_topology() {
+        let two = LookupTable::new(4, 8);
+        assert_eq!(two.levels, vec![4, 8]);
+        let topo = han_machine::Topology::from_levels(&[4, 2, 16]);
+        let three = LookupTable::for_topology(&topo);
+        assert_eq!(three.nodes, 4);
+        assert_eq!(three.ppn, 32);
+        assert_eq!(three.levels, vec![4, 2, 16]);
     }
 
     #[test]

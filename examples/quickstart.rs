@@ -27,8 +27,8 @@ fn main() {
         "size", "HAN", "tuned OMPI", "speedup"
     );
     for bytes in [4 * 1024u64, 64 * 1024, 1 << 20, 16 << 20] {
-        let t_han = time_coll(&Han::with_config(cfg), &preset, Coll::Bcast, bytes, 0);
-        let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, bytes, 0);
+        let t_han = time_coll(&Han::with_config(cfg), &preset, Coll::Bcast, bytes, 0).unwrap();
+        let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, bytes, 0).unwrap();
         println!(
             "{:>8}  {:>12}  {:>12}  {:>6.2}x",
             bytes,
@@ -59,7 +59,7 @@ fn main() {
     let han = Han::tuned(Arc::new(result.table));
     println!("\n{:>8}  {:>12}  (autotuned HAN)", "size", "latency");
     for bytes in [4 * 1024u64, 1 << 20, 16 << 20] {
-        let t = time_coll(&han, &preset, Coll::Bcast, bytes, 0);
+        let t = time_coll(&han, &preset, Coll::Bcast, bytes, 0).unwrap();
         println!("{:>8}  {:>12}", bytes, t.to_string());
     }
 }

@@ -22,8 +22,8 @@
 //!
 //! // HAN with a fixed configuration vs default Open MPI.
 //! let hcfg = HanConfig::default().with_fs(128 * 1024);
-//! let t_han = time_coll(&Han::with_config(hcfg), &preset, Coll::Bcast, 1 << 20, 0);
-//! let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, 1 << 20, 0);
+//! let t_han = time_coll(&Han::with_config(hcfg), &preset, Coll::Bcast, 1 << 20, 0).unwrap();
+//! let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, 1 << 20, 0).unwrap();
 //! assert!(t_han < t_tuned);
 //! ```
 
@@ -37,15 +37,17 @@ pub use han_tuner as tuner;
 
 /// The items most programs need.
 pub mod prelude {
-    pub use han_colls::stack::{build_coll, time_coll, time_coll_on, BuildCtx, Coll, MpiStack};
+    pub use han_colls::stack::{
+        build_coll, time_coll, time_coll_on, BuildCtx, Coll, MpiStack, Unsupported,
+    };
     pub use han_colls::{
         Adapt, Frontier, InterAlg, InterModule, IntraModule, Libnbc, Sm, Solo, TreeShape,
         TunedOpenMpi, VendorMpi,
     };
-    pub use han_core::{ConfigSource, Han, HanConfig};
+    pub use han_core::{ConfigSource, Han, HanConfig, MAX_DEEP};
     pub use han_machine::{
-        self as machine, mini, shaheen2, shaheen2_ppn, stampede2, stampede2_ppn, Flavor, Machine,
-        MachinePreset, Topology,
+        self as machine, mini, mini3, shaheen2, shaheen2_ppn, shaheen2_sockets, socketize,
+        stampede2, stampede2_ppn, Flavor, Machine, MachinePreset, Topology,
     };
     pub use han_mpi::{Comm, DataType, ExecMode, ExecOpts, ProgramBuilder, ReduceOp};
     pub use han_sim::Time;
@@ -65,7 +67,8 @@ mod tests {
             Coll::Bcast,
             4096,
             0,
-        );
+        )
+        .unwrap();
         assert!(t > Time::ZERO);
     }
 }

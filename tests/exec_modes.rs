@@ -31,7 +31,8 @@ fn timing_only_matches_full_virtual_times() {
     for preset in &presets {
         for coll in ALL_COLLS {
             for bytes in [4u64, 64 * 1024, 1 << 20] {
-                let prog = build_coll(&stack, preset, coll, bytes, 0);
+                let prog = build_coll(&stack, preset, coll, bytes, 0)
+                    .expect("HAN implements all collectives");
                 let p2p = stack.flavor().p2p();
                 let mut m1 = Machine::from_preset(preset);
                 let timing = han::mpi::execute(

@@ -23,7 +23,7 @@ fn bcast_correct_under_arrival_imbalance() {
     let preset = mini(3, 4);
     let n = 12;
     let han = Han::with_config(HanConfig::default().with_fs(4 * 1024));
-    let prog = build_coll(&han, &preset, Coll::Bcast, 50_000, 0);
+    let prog = build_coll(&han, &preset, Coll::Bcast, 50_000, 0).unwrap();
     let mut m = Machine::from_preset(&preset);
     let buf = BufRange::new(0, 50_000);
     let payload: Vec<u8> = (0..50_000u64).map(|i| (i % 241) as u8).collect();
@@ -87,7 +87,7 @@ fn skew_degrades_cost_boundedly() {
     // DAG only ever waits for late ranks, it never livelocks.
     let preset = mini(3, 3);
     let han = Han::with_config(HanConfig::default().with_fs(64 * 1024));
-    let prog = build_coll(&han, &preset, Coll::Bcast, 1 << 20, 0);
+    let prog = build_coll(&han, &preset, Coll::Bcast, 1 << 20, 0).unwrap();
     let mut m = Machine::from_preset(&preset);
     let opts = ExecOpts::timing(Flavor::OpenMpi.p2p());
     let balanced = execute(&mut m, &prog, &opts).makespan;
@@ -109,7 +109,7 @@ fn late_root_delays_everyone() {
     let preset = mini(3, 2);
     let n = 6;
     let han = Han::with_config(HanConfig::default().with_fs(16 * 1024));
-    let prog = build_coll(&han, &preset, Coll::Bcast, 256 * 1024, 0);
+    let prog = build_coll(&han, &preset, Coll::Bcast, 256 * 1024, 0).unwrap();
     let mut m = Machine::from_preset(&preset);
     let opts = ExecOpts::timing(Flavor::OpenMpi.p2p());
 

@@ -1,0 +1,377 @@
+//! The N-level refactor's non-negotiable invariant, pinned.
+//!
+//! `han_core::classic` keeps the pre-generalization two-level builders
+//! verbatim as regression oracles. Every two-level machine must produce
+//! **bit-identical** programs (op counts, event counts) and virtual times
+//! through the generalized recursive path — config by config, preset by
+//! preset — and the tuner must pick the same winners at the same costs.
+//! A three-level machine must then actually pipeline: segments of
+//! adjacent hierarchy levels must overlap in virtual time.
+
+use han::colls::stack::{build_coll, BuildCtx};
+use han::core::allreduce::build_allreduce;
+use han::core::bcast::build_bcast;
+use han::core::{classic, extend};
+use han::mpi::{execute, trace_execution, BufRange, OpKind, Program};
+use han::prelude::*;
+use han::tuner::{tune, SearchSpace, Strategy};
+
+/// The configuration corners that exercise every module/algorithm choice.
+fn corner_configs() -> Vec<HanConfig> {
+    let mut cfgs = vec![HanConfig::default()];
+    for fs in [4 * 1024u64, 64 * 1024, 1 << 20] {
+        for (imod, alg) in [
+            (InterModule::Libnbc, InterAlg::Binomial),
+            (InterModule::Adapt, InterAlg::Chain),
+            (InterModule::Adapt, InterAlg::Binary),
+        ] {
+            for smod in [IntraModule::Sm, IntraModule::Solo] {
+                let mut c = HanConfig::default().with_fs(fs).with_intra(smod);
+                c.imod = imod;
+                c.ibalg = alg;
+                c.iralg = alg;
+                cfgs.push(c);
+            }
+        }
+    }
+    cfgs
+}
+
+fn two_level_presets() -> Vec<MachinePreset> {
+    vec![
+        mini(4, 4),
+        mini(3, 5),
+        mini(1, 6),
+        mini(6, 1),
+        shaheen2_ppn(4, 8),
+        stampede2_ppn(3, 4),
+    ]
+}
+
+/// Run one builder closure to completion; return (makespan, events, ops).
+fn run_build<F>(preset: &MachinePreset, bytes: u64, f: F) -> (Time, u64, usize)
+where
+    F: FnOnce(&mut BuildCtx, &Comm, &[BufRange]),
+{
+    let n = preset.topology.world_size();
+    let comm = Comm::world(n);
+    let mut b = ProgramBuilder::new(n);
+    let bufs = b.alloc_all(bytes);
+    let mut cx = BuildCtx {
+        b: &mut b,
+        topo: preset.topology,
+        node: preset.node,
+    };
+    f(&mut cx, &comm, &bufs);
+    let prog = b.build();
+    let mut m = Machine::from_preset(preset);
+    let report = execute(&mut m, &prog, &ExecOpts::timing(Flavor::OpenMpi.p2p()));
+    (report.makespan, report.events, prog.ops.len())
+}
+
+#[test]
+fn two_level_bcast_is_bit_identical_to_classic() {
+    for preset in two_level_presets() {
+        let n = preset.topology.world_size();
+        for cfg in corner_configs() {
+            for (bytes, root) in [(64 * 1024u64, 0usize), (2 << 20, (n - 1) / 2)] {
+                let new = run_build(&preset, bytes, |cx, comm, bufs| {
+                    build_bcast(cx, &cfg, comm, root, bufs, &Frontier::empty(n));
+                });
+                let old = run_build(&preset, bytes, |cx, comm, bufs| {
+                    classic::build_bcast(cx, &cfg, comm, root, bufs, &Frontier::empty(n));
+                });
+                assert_eq!(
+                    new, old,
+                    "{} bcast {bytes}B root {root} {cfg}: (makespan, events, ops) diverged",
+                    preset.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn two_level_allreduce_is_bit_identical_to_classic() {
+    for preset in two_level_presets() {
+        let n = preset.topology.world_size();
+        for cfg in corner_configs() {
+            for bytes in [64 * 1024u64, 2 << 20] {
+                let new = run_build(&preset, bytes, |cx, comm, bufs| {
+                    build_allreduce(
+                        cx,
+                        &cfg,
+                        comm,
+                        bufs,
+                        ReduceOp::Sum,
+                        DataType::Float32,
+                        &Frontier::empty(n),
+                    );
+                });
+                let old = run_build(&preset, bytes, |cx, comm, bufs| {
+                    classic::build_allreduce(
+                        cx,
+                        &cfg,
+                        comm,
+                        bufs,
+                        ReduceOp::Sum,
+                        DataType::Float32,
+                        &Frontier::empty(n),
+                    );
+                });
+                assert_eq!(
+                    new, old,
+                    "{} allreduce {bytes}B {cfg}: (makespan, events, ops) diverged",
+                    preset.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn two_level_extended_collectives_match_classic() {
+    let cfg = HanConfig::default().with_fs(64 * 1024);
+    for preset in [mini(3, 4), shaheen2_ppn(2, 6)] {
+        let n = preset.topology.world_size();
+        let bytes = 256 * 1024u64;
+
+        let new = run_build(&preset, bytes, |cx, comm, bufs| {
+            extend::build_reduce(
+                cx,
+                &cfg,
+                comm,
+                1,
+                bufs,
+                ReduceOp::Sum,
+                DataType::Float32,
+                &Frontier::empty(n),
+            );
+        });
+        let old = run_build(&preset, bytes, |cx, comm, bufs| {
+            classic::build_reduce(
+                cx,
+                &cfg,
+                comm,
+                1,
+                bufs,
+                ReduceOp::Sum,
+                DataType::Float32,
+                &Frontier::empty(n),
+            );
+        });
+        assert_eq!(new, old, "{} reduce diverged", preset.name);
+
+        let block = 4 * 1024u64;
+        let new = run_build(&preset, block * n as u64, |cx, comm, bufs| {
+            extend::build_allgather(cx, &cfg, comm, bufs, block, &Frontier::empty(n));
+        });
+        let old = run_build(&preset, block * n as u64, |cx, comm, bufs| {
+            classic::build_allgather(cx, &cfg, comm, bufs, block, &Frontier::empty(n));
+        });
+        assert_eq!(new, old, "{} allgather diverged", preset.name);
+
+        let new = run_build(&preset, 64, |cx, comm, _| {
+            extend::build_barrier(cx, comm, &Frontier::empty(n));
+        });
+        let old = run_build(&preset, 64, |cx, comm, _| {
+            classic::build_barrier(cx, comm, &Frontier::empty(n));
+        });
+        assert_eq!(new, old, "{} barrier diverged", preset.name);
+    }
+}
+
+fn tiny_space() -> SearchSpace {
+    SearchSpace {
+        msg_sizes: vec![64 * 1024, 1 << 20, 8 << 20],
+        seg_sizes: vec![32 * 1024, 256 * 1024, 1 << 20],
+        inter: vec![
+            (InterModule::Libnbc, InterAlg::Binomial),
+            (InterModule::Adapt, InterAlg::Chain),
+        ],
+        intra: vec![IntraModule::Sm, IntraModule::Solo],
+    }
+}
+
+/// Virtual latency of `coll` under `cfg` through the **classic** builders.
+fn classic_time(preset: &MachinePreset, cfg: &HanConfig, coll: Coll, bytes: u64) -> Time {
+    let n = preset.topology.world_size();
+    let (t, _, _) = run_build(preset, bytes, |cx, comm, bufs| match coll {
+        Coll::Bcast => {
+            classic::build_bcast(cx, cfg, comm, 0, bufs, &Frontier::empty(n));
+        }
+        Coll::Allreduce => {
+            classic::build_allreduce(
+                cx,
+                cfg,
+                comm,
+                bufs,
+                ReduceOp::Sum,
+                DataType::Float32,
+                &Frontier::empty(n),
+            );
+        }
+        other => panic!("no classic oracle for {other:?}"),
+    });
+    t
+}
+
+#[test]
+fn two_level_tuned_winners_match_classic_argmin() {
+    // The exhaustive tuner sweeps the generalized builders; the winner it
+    // records for every (coll, size) must cost exactly what the classic
+    // two-level oracle says, and no classic-timed candidate may beat it.
+    let preset = mini(4, 4);
+    let space = tiny_space();
+    let colls = [Coll::Bcast, Coll::Allreduce];
+    let result = tune(&preset, &space, &colls, Strategy::Exhaustive);
+    assert!(result.skipped.is_empty(), "nothing should be skipped");
+    for coll in colls {
+        for m in space.msg_sizes.clone() {
+            let entry = result.table.get(coll, m).expect("tuned entry");
+            let winner_t = classic_time(&preset, &entry.cfg, coll, m);
+            assert_eq!(
+                winner_t.as_ps(),
+                entry.cost_ps,
+                "{coll:?}@{m}: recorded cost must match the classic oracle"
+            );
+            let best = space
+                .configs_for(m, &preset.topology, false)
+                .iter()
+                .map(|c| classic_time(&preset, c, coll, m))
+                .min()
+                .expect("non-empty space");
+            assert_eq!(
+                winner_t, best,
+                "{coll:?}@{m}: tuned winner must achieve the classic-oracle optimum"
+            );
+        }
+    }
+}
+
+/// Highest level at which two world ranks are co-located: `None` for an
+/// inter-node edge, `Some(k)` when they share the level-`k` group but not
+/// the level-`k+1` one.
+fn edge_level(topo: &Topology, a: usize, b: usize) -> usize {
+    let mut level = 0;
+    for k in 0..topo.depth() - 1 {
+        if topo.same_group(a, b, k) {
+            level = k + 1;
+        } else {
+            break;
+        }
+    }
+    level
+}
+
+/// Classify every data-moving span by the hierarchy level its edge crosses
+/// (0 = inter-node, `depth-1` = innermost shared-memory domain).
+fn spans_by_level(
+    topo: &Topology,
+    prog: &Program,
+    spans: &[han::mpi::Span],
+) -> Vec<Vec<(Time, Time)>> {
+    let mut by_level = vec![Vec::new(); topo.depth()];
+    for (i, op) in prog.ops.iter().enumerate() {
+        let edge = match &op.kind {
+            OpKind::CrossCopy { from, .. } | OpKind::ReduceFrom { from, .. } => {
+                Some((op.rank as usize, *from as usize))
+            }
+            OpKind::Send { msg } | OpKind::Recv { msg } => {
+                let meta = &prog.msgs[msg.0 as usize];
+                Some((meta.src as usize, meta.dst as usize))
+            }
+            _ => None,
+        };
+        if let Some((a, b)) = edge {
+            let span = &spans[i];
+            if span.end > span.start {
+                by_level[edge_level(topo, a, b)].push((span.start, span.end));
+            }
+        }
+    }
+    by_level
+}
+
+fn overlaps(xs: &[(Time, Time)], ys: &[(Time, Time)]) -> bool {
+    xs.iter()
+        .any(|&(s1, e1)| ys.iter().any(|&(s2, e2)| s1 < e2 && s2 < e1))
+}
+
+#[test]
+fn three_level_segments_overlap_on_adjacent_level_pairs() {
+    // A 2-node × 2-socket × 4-core machine, 8 segments: the recursive
+    // pipeline must keep traffic in flight at *every* adjacent level pair
+    // simultaneously — inter-node with cross-socket, and cross-socket with
+    // intra-socket.
+    let preset = mini3(2, 2, 4);
+    let topo = preset.topology;
+    assert_eq!(topo.depth(), 3);
+    let n = topo.world_size();
+    let han = Han::with_config(HanConfig::default().with_fs(128 * 1024));
+    for coll in [Coll::Bcast, Coll::Allreduce] {
+        let prog = build_coll(&han, &preset, coll, 1 << 20, 0).expect("supported");
+        let mut m = Machine::from_preset(&preset);
+        let (_, trace) = trace_execution(&mut m, &prog, &ExecOpts::timing(Flavor::OpenMpi.p2p()));
+        let by_level = spans_by_level(&topo, &prog, &trace.spans);
+        for k in 0..topo.depth() - 1 {
+            assert!(
+                !by_level[k].is_empty(),
+                "{coll:?}: no traffic crossed level {k} on {n} ranks"
+            );
+            assert!(
+                overlaps(&by_level[k], &by_level[k + 1]),
+                "{coll:?}: levels {k} and {} never overlap — the pipeline \
+                 serialized across that boundary",
+                k + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn three_level_tunes_end_to_end_with_per_level_configs() {
+    let preset = mini3(2, 2, 2);
+    let topo = preset.topology;
+    let space = tiny_space();
+
+    // The generalized space must actually offer per-level overrides on a
+    // three-level machine.
+    let deep_cfgs = space.configs_for(1 << 20, &topo, false);
+    let flat_cfgs = space.configs(1 << 20, topo.nodes(), false);
+    assert!(
+        deep_cfgs.len() > flat_cfgs.len(),
+        "deep space ({}) must extend the flat space ({})",
+        deep_cfgs.len(),
+        flat_cfgs.len()
+    );
+    assert!(
+        deep_cfgs.iter().any(|c| c.deep.iter().any(Option::is_some)),
+        "some candidates must override the socket-level module"
+    );
+
+    let colls = [Coll::Bcast, Coll::Allreduce];
+    for strategy in [Strategy::Exhaustive, Strategy::TaskBasedHeuristic] {
+        let result = tune(&preset, &space, &colls, strategy);
+        assert!(result.skipped.is_empty(), "{strategy:?} skipped work");
+        assert_eq!(result.table.levels, topo.levels(), "{strategy:?} levels");
+        for coll in colls {
+            for &m in &space.msg_sizes {
+                let entry = result.table.get(coll, m).expect("tuned entry");
+                // Every level below the leaders answers a module query.
+                for level in 1..topo.depth() {
+                    let _ = entry.cfg.smod_at(level);
+                }
+                assert!(entry.cost_ps > 0, "{strategy:?} {coll:?}@{m}");
+            }
+        }
+    }
+
+    // Decisions served through the HAN facade still execute end-to-end.
+    let result = tune(&preset, &space, &colls, Strategy::Exhaustive);
+    let han = Han::tuned(std::sync::Arc::new(result.table));
+    for coll in colls {
+        let t = time_coll(&han, &preset, coll, 2 << 20, 0).expect("supported");
+        assert!(t > Time::ZERO);
+    }
+}

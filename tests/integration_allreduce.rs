@@ -23,7 +23,7 @@ fn check_allreduce(stack: &dyn MpiStack, nodes: usize, ppn: usize, nelem: usize)
     let preset = mini(nodes, ppn);
     let n = nodes * ppn;
     let bytes = (nelem * 4) as u64;
-    let prog = build_coll(stack, &preset, Coll::Allreduce, bytes, 0);
+    let prog = build_coll(stack, &preset, Coll::Allreduce, bytes, 0).expect("allreduce");
     let mut m = Machine::from_preset(&preset);
     let opts = ExecOpts::with_data(stack.flavor().p2p());
     let buf = BufRange::new(0, bytes);
@@ -103,7 +103,8 @@ fn reduce_gather_scatter_allgather_through_han() {
         ReduceOp::Max,
         DataType::Int32,
         &deps,
-    );
+    )
+    .expect("reduce");
     let prog = b.build();
     let mut m = Machine::from_preset(&preset);
     let bufs2 = bufs.clone();
@@ -138,8 +139,11 @@ fn reduce_gather_scatter_allgather_through_han() {
         topo: preset.topology,
         node: preset.node,
     };
-    let f = han.gather(&mut cx, &comm, 2, &src, mid, &Frontier::empty(n));
-    han.scatter(&mut cx, &comm, 2, mid, &dst, &f);
+    let f = han
+        .gather(&mut cx, &comm, 2, &src, mid, &Frontier::empty(n))
+        .expect("gather");
+    han.scatter(&mut cx, &comm, 2, mid, &dst, &f)
+        .expect("scatter");
     let prog = b.build();
     let src2 = src.clone();
     let (_, mem) = execute_seeded(
@@ -169,7 +173,8 @@ fn reduce_gather_scatter_allgather_through_han() {
         topo: preset.topology,
         node: preset.node,
     };
-    han.allgather(&mut cx, &comm, &bufs, block, &Frontier::empty(n));
+    han.allgather(&mut cx, &comm, &bufs, block, &Frontier::empty(n))
+        .expect("allgather");
     let prog = b.build();
     let bufs2 = bufs.clone();
     let (_, mem) = execute_seeded(
@@ -204,8 +209,8 @@ fn allreduce_small_message_gap_vs_vendors() {
             .with_fs(8 * 1024)
             .with_inter(InterModule::Libnbc, InterAlg::Binomial),
     );
-    let t_han = time_coll(&han, &preset, Coll::Allreduce, bytes, 0);
-    let t_cray = time_coll(&VendorMpi::cray(), &preset, Coll::Allreduce, bytes, 0);
+    let t_han = time_coll(&han, &preset, Coll::Allreduce, bytes, 0).unwrap();
+    let t_cray = time_coll(&VendorMpi::cray(), &preset, Coll::Allreduce, bytes, 0).unwrap();
     assert!(
         t_cray < t_han,
         "small allreduce: cray {t_cray} should beat HAN {t_han}"
@@ -227,12 +232,12 @@ fn allreduce_large_message_han_wins() {
                     .with_fs(fs)
                     .with_intra(IntraModule::Solo),
             );
-            time_coll(&han, &preset, Coll::Allreduce, bytes, 0)
+            time_coll(&han, &preset, Coll::Allreduce, bytes, 0).unwrap()
         })
         .min()
         .unwrap();
     for v in [VendorMpi::cray(), VendorMpi::intel()] {
-        let t = time_coll(&v, &preset, Coll::Allreduce, bytes, 0);
+        let t = time_coll(&v, &preset, Coll::Allreduce, bytes, 0).unwrap();
         assert!(
             t_han < t,
             "large allreduce: HAN {t_han} should beat {} {t}",

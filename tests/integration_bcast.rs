@@ -9,7 +9,7 @@ use han::prelude::*;
 fn check_bcast_delivery(stack: &dyn MpiStack, nodes: usize, ppn: usize, bytes: u64, root: usize) {
     let preset = mini(nodes, ppn);
     let n = nodes * ppn;
-    let prog = build_coll(stack, &preset, Coll::Bcast, bytes, root);
+    let prog = build_coll(stack, &preset, Coll::Bcast, bytes, root).expect("bcast");
     let mut m = Machine::from_preset(&preset);
     let opts = ExecOpts::with_data(stack.flavor().p2p());
     let buf = BufRange::new(0, bytes);
@@ -71,8 +71,8 @@ fn han_beats_tuned_across_the_size_range() {
         (16 << 20, 1 << 20, IntraModule::Solo),
     ] {
         let han = Han::with_config(HanConfig::default().with_fs(fs).with_intra(smod));
-        let t_han = time_coll(&han, &preset, Coll::Bcast, bytes, 0);
-        let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, bytes, 0);
+        let t_han = time_coll(&han, &preset, Coll::Bcast, bytes, 0).unwrap();
+        let t_tuned = time_coll(&TunedOpenMpi, &preset, Coll::Bcast, bytes, 0).unwrap();
         assert!(t_han < t_tuned, "{bytes}B: HAN {t_han} vs tuned {t_tuned}");
     }
 }
@@ -92,8 +92,9 @@ fn cray_wins_small_han_wins_large() {
         Coll::Bcast,
         8 * 1024,
         0,
-    );
-    let t_cray_small = time_coll(&VendorMpi::cray(), &preset, Coll::Bcast, 8 * 1024, 0);
+    )
+    .unwrap();
+    let t_cray_small = time_coll(&VendorMpi::cray(), &preset, Coll::Bcast, 8 * 1024, 0).unwrap();
     assert!(
         t_cray_small < t_han_small,
         "small: cray {t_cray_small} should beat HAN {t_han_small}"
@@ -104,8 +105,9 @@ fn cray_wins_small_han_wins_large() {
         Coll::Bcast,
         32 << 20,
         0,
-    );
-    let t_cray_large = time_coll(&VendorMpi::cray(), &preset, Coll::Bcast, 32 << 20, 0);
+    )
+    .unwrap();
+    let t_cray_large = time_coll(&VendorMpi::cray(), &preset, Coll::Bcast, 32 << 20, 0).unwrap();
     assert!(
         t_han_large < t_cray_large,
         "large: HAN {t_han_large} should beat cray {t_cray_large}"
@@ -116,7 +118,7 @@ fn cray_wins_small_han_wins_large() {
 fn deterministic_across_runs() {
     let preset = mini(3, 5);
     let han = Han::with_config(HanConfig::default());
-    let a = time_coll(&han, &preset, Coll::Bcast, 3 << 20, 0);
-    let b = time_coll(&han, &preset, Coll::Bcast, 3 << 20, 0);
+    let a = time_coll(&han, &preset, Coll::Bcast, 3 << 20, 0).unwrap();
+    let b = time_coll(&han, &preset, Coll::Bcast, 3 << 20, 0).unwrap();
     assert_eq!(a, b, "simulation must be bit-deterministic");
 }

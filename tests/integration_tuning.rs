@@ -41,7 +41,7 @@ fn tuned_table_round_trips_and_serves_han() {
     // sampled (decision function interpolates to the nearest sample).
     let han = Han::tuned(Arc::new(table));
     for bytes in [4 * 1024u64, 100_000, 3 << 20, 32 << 20] {
-        let t = time_coll(&han, &preset, Coll::Bcast, bytes, 0);
+        let t = time_coll(&han, &preset, Coll::Bcast, bytes, 0).unwrap();
         assert!(t > Time::ZERO, "{bytes}");
     }
     std::fs::remove_file(&path).ok();
@@ -57,8 +57,12 @@ fn tuned_beats_single_fixed_config_overall() {
     let mut tuned_total = 0f64;
     let mut fixed_total = 0f64;
     for &m in &test_space().msg_sizes {
-        tuned_total += achieved_latency(&preset, &result.table, Coll::Bcast, m).as_secs_f64();
-        fixed_total += time_coll(&fixed, &preset, Coll::Bcast, m, 0).as_secs_f64();
+        tuned_total += achieved_latency(&preset, &result.table, Coll::Bcast, m)
+            .unwrap()
+            .as_secs_f64();
+        fixed_total += time_coll(&fixed, &preset, Coll::Bcast, m, 0)
+            .unwrap()
+            .as_secs_f64();
     }
     assert!(
         tuned_total <= fixed_total * 1.02,
@@ -96,8 +100,8 @@ fn exhaustive_and_task_based_agree_on_winners() {
     let mut ex_total = 0f64;
     let mut tk_total = 0f64;
     for &m in &space.msg_sizes {
-        let best = achieved_latency(&preset, &ex.table, Coll::Bcast, m);
-        let got = achieved_latency(&preset, &tk.table, Coll::Bcast, m);
+        let best = achieved_latency(&preset, &ex.table, Coll::Bcast, m).unwrap();
+        let got = achieved_latency(&preset, &tk.table, Coll::Bcast, m).unwrap();
         assert!(
             got.as_ps() as f64 <= best.as_ps() as f64 * 1.25,
             "m={m}: task pick {got} vs best {best}"

@@ -34,6 +34,7 @@ fn arb_config() -> impl proptest::strategy::Strategy<Value = HanConfig> {
             iralg: alg,
             ibs: None,
             irs: None,
+            deep: [None; han::core::MAX_DEEP],
         })
 }
 
@@ -54,7 +55,7 @@ proptest! {
         let n = nodes * ppn;
         let root = root_seed % n;
         let stack = Han::with_config(cfg);
-        let prog = build_coll(&stack, &preset, Coll::Bcast, bytes, root);
+        let prog = build_coll(&stack, &preset, Coll::Bcast, bytes, root).unwrap();
         let mut m = Machine::from_preset(&preset);
         let buf = BufRange::new(0, bytes);
         let payload: Vec<u8> = (0..bytes).map(|i| (i % 251) as u8).collect();
@@ -134,8 +135,8 @@ proptest! {
     ) {
         let preset = mini(nodes, ppn);
         let stack = Han::with_config(cfg);
-        let a = time_coll(&stack, &preset, Coll::Bcast, bytes, 0);
-        let b = time_coll(&stack, &preset, Coll::Bcast, bytes, 0);
+        let a = time_coll(&stack, &preset, Coll::Bcast, bytes, 0).unwrap();
+        let b = time_coll(&stack, &preset, Coll::Bcast, bytes, 0).unwrap();
         prop_assert_eq!(a, b);
     }
 
@@ -148,8 +149,8 @@ proptest! {
     ) {
         let preset = mini(nodes, ppn);
         let stack = Han::with_config(HanConfig::default().with_fs(16 * 1024));
-        let t1 = time_coll(&stack, &preset, Coll::Bcast, base, 0);
-        let t2 = time_coll(&stack, &preset, Coll::Bcast, base * 4, 0);
+        let t1 = time_coll(&stack, &preset, Coll::Bcast, base, 0).unwrap();
+        let t2 = time_coll(&stack, &preset, Coll::Bcast, base * 4, 0).unwrap();
         prop_assert!(t2 >= t1, "4x message can't be cheaper: {} vs {}", t2, t1);
     }
 
@@ -164,7 +165,7 @@ proptest! {
         let preset = mini(nodes, ppn);
         let n = nodes * ppn;
         let root = root_seed % n;
-        let prog = build_coll(&TunedOpenMpi, &preset, Coll::Bcast, bytes, root);
+        let prog = build_coll(&TunedOpenMpi, &preset, Coll::Bcast, bytes, root).unwrap();
         let mut m = Machine::from_preset(&preset);
         let buf = BufRange::new(0, bytes);
         let payload: Vec<u8> = (0..bytes).map(|i| (i % 253) as u8).collect();

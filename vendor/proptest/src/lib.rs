@@ -53,7 +53,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Number-of-elements specification for [`vec`].
+    /// Number-of-elements specification for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

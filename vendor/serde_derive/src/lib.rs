@@ -2,7 +2,7 @@
 //!
 //! The real crates.io registry is unreachable in this environment, so the
 //! workspace vendors a minimal serde data model (`vendor/serde`) built
-//! around a JSON-like [`Value`] enum, and this proc-macro derives its two
+//! around a JSON-like `Value` enum, and this proc-macro derives its two
 //! traits. It parses the item token stream by hand (no `syn`/`quote`) and
 //! supports exactly the shapes this workspace uses:
 //!
