@@ -1,19 +1,28 @@
 //! The fast-path sweep engine benchmark: how much host wall-clock the
-//! timing-only executor and the cost cache save on a Fig. 8-style tuning
-//! sweep. Criterion group `sweep` covers the four interesting corners
-//! (execution Full vs TimingOnly, tuning cold vs warm cache); a summary
+//! timing-only executor, the cost cache, program-template interning and
+//! bound pruning save on a Fig. 8-style tuning sweep. Criterion group
+//! `sweep` covers the interesting corners (execution Full vs TimingOnly,
+//! tuning cold vs warm cache, program build cold vs templated); a summary
 //! with the headline speedups is written to `BENCH_sweep.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use han_colls::stack::{build_coll, Coll};
-use han_colls::MpiStack;
+use han_colls::{MpiStack, TemplateStore};
 use han_core::{Han, HanConfig};
 use han_machine::{mini, Machine};
-use han_mpi::{execute, ExecMode, ExecOpts};
-use han_tuner::{tune_with_cache, CostCache, SearchSpace, Strategy};
+use han_mpi::{execute, ExecMode, ExecOpts, Program};
+use han_tuner::{tune_with_cache, tune_with_opts, CostCache, SearchSpace, Strategy, TuneOpts};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Sizes in one template class for the 256 KB-segment Bcast below: same
+/// HAN segment count (`u = 16`) and same shared-memory fragment count of
+/// the remainder segment, so the second build learns a template the third
+/// size can re-stamp.
+const TPL_M1: u64 = (4 << 20) - 4096;
+const TPL_M2: u64 = (4 << 20) - 2048;
+const TPL_M3: u64 = 4 << 20;
 
 fn sweep_space() -> SearchSpace {
     let mut space = SearchSpace::standard();
@@ -41,6 +50,24 @@ fn bench_sweep(c: &mut Criterion) {
     group.bench_function("exec_full_4M", |b| {
         let opts = ExecOpts::with_mode(p2p, ExecMode::Full);
         b.iter(|| black_box(execute(&mut machine, &prog, &opts).makespan))
+    });
+
+    // Program acquisition: a cold DAG build vs re-stamping an interned
+    // template of the same shape class.
+    group.bench_function("build_cold_4M", |b| {
+        b.iter(|| black_box(build_coll(&han, &preset, Coll::Bcast, TPL_M3, 0).expect("bcast")))
+    });
+    let store = TemplateStore::new();
+    store.build(&han, &preset, Coll::Bcast, TPL_M1, 0).unwrap();
+    store.build(&han, &preset, Coll::Bcast, TPL_M2, 0).unwrap();
+    let mut scratch = Program::default();
+    group.bench_function("build_templated_4M", |b| {
+        b.iter(|| {
+            store
+                .build_into(&han, &preset, Coll::Bcast, TPL_M3, 0, &mut scratch)
+                .expect("bcast");
+            black_box(&mut scratch);
+        })
     });
 
     // Tuning sweeps: no cache vs a warm shared cache.
@@ -115,6 +142,40 @@ fn write_summary() {
         )
         .makespan
     });
+    // Event-engine throughput: pops per wall second of a timing-only run.
+    let events = execute(
+        &mut machine,
+        &prog,
+        &ExecOpts::with_mode(p2p, ExecMode::TimingOnly),
+    )
+    .events;
+    let events_per_sec = events as f64 / timing;
+
+    // Program acquisition: cold build vs re-stamping an interned template.
+    let build_cold = best_secs(20, || {
+        build_coll(&han, &preset, Coll::Bcast, TPL_M3, 0).expect("bcast")
+    });
+    let store = TemplateStore::new();
+    store.build(&han, &preset, Coll::Bcast, TPL_M1, 0).unwrap();
+    store.build(&han, &preset, Coll::Bcast, TPL_M2, 0).unwrap();
+    let mut scratch = Program::default();
+    let build_warm = best_secs(20, || {
+        store
+            .build_into(&han, &preset, Coll::Bcast, TPL_M3, 0, &mut scratch)
+            .expect("bcast");
+    });
+
+    // Bound pruning: fraction of exhaustive candidates skipped.
+    let pruned_run = tune_with_opts(
+        &preset,
+        &space,
+        &colls,
+        Strategy::Exhaustive,
+        None,
+        TuneOpts { prune: true },
+    );
+    let prune_ratio =
+        pruned_run.pruned as f64 / (pruned_run.searches + pruned_run.pruned).max(1) as f64;
 
     let cold = best_secs(3, || {
         tune_with_cache(&preset, &space, &colls, Strategy::Exhaustive, None)
@@ -144,6 +205,11 @@ fn write_summary() {
         ("tune_exhaustive_cold_s".into(), cold),
         ("tune_exhaustive_warm_s".into(), warm),
         ("warm_cache_speedup".into(), cold / warm),
+        ("build_cold_4M_s".into(), build_cold),
+        ("build_templated_4M_s".into(), build_warm),
+        ("template_reuse_speedup".into(), build_cold / build_warm),
+        ("events_per_sec".into(), events_per_sec),
+        ("prune_ratio".into(), prune_ratio),
     ];
     // cargo runs benches with cwd = the package dir; anchor the report at
     // the workspace root where the other results live.
@@ -154,9 +220,13 @@ fn write_summary() {
                 eprintln!("[sweep] could not write BENCH_sweep.json: {e}");
             } else {
                 println!(
-                    "[sweep] exec speedup {:.2}x, warm-cache speedup {:.2}x -> BENCH_sweep.json",
+                    "[sweep] exec speedup {:.2}x, warm-cache speedup {:.2}x, template \
+                     speedup {:.2}x, {:.2}M events/s, prune ratio {:.2} -> BENCH_sweep.json",
                     full / timing,
-                    cold / warm
+                    cold / warm,
+                    build_cold / build_warm,
+                    events_per_sec / 1e6,
+                    prune_ratio
                 );
             }
         }

@@ -167,6 +167,17 @@ fn main() {
             prog.len(),
             report.events
         );
+        println!(
+            "{:>18}  engine: {} pushes / {} pops, max queue depth {}",
+            "", report.engine.pushes, report.engine.pops, report.engine.max_depth
+        );
+        if report.engine.clamped > 0 {
+            eprintln!(
+                "{:>18}  WARNING: {} event(s) scheduled in the past were clamped \
+                 to the current virtual time",
+                "", report.engine.clamped
+            );
+        }
         if let Some(path) = args.get("trace") {
             let p = if which == "all" {
                 format!("{name}_{path}")

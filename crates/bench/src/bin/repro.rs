@@ -17,6 +17,12 @@
 //! invocations warm-start; `--cache off` disables memoization. Virtual
 //! times are identical in all three modes — only wall-clock changes.
 //!
+//! `--no-prune` disables the analytic lower-bound pruning of exhaustive
+//! sweeps (Fig. 8). Pruning is on by default and never changes the winner
+//! table — only how many candidates are simulated; Fig. 9 always runs the
+//! exhaustive sweep unpruned because it needs the full sample
+//! distribution (best/median/average), not just the winners.
+//!
 //! `--levels 3` runs every experiment on the three-level (socketized)
 //! forms of the machines — `[nodes, sockets, cores]` with a cross-socket
 //! bus derating — instead of the paper's flat two-level shapes. The
@@ -35,7 +41,9 @@ use han_core::task::TaskSpec;
 use han_core::{Han, HanConfig};
 use han_machine::{shaheen2_ppn, socketize, stampede2_ppn, Flavor, Machine, MachinePreset};
 use han_sim::{Summary, Time};
-use han_tuner::{tune, tune_with_cache, CostCache, LookupTable, SearchSpace, Strategy, TaskBench};
+use han_tuner::{
+    tune, tune_with_opts, CostCache, LookupTable, SearchSpace, Strategy, TaskBench, TuneOpts,
+};
 use std::sync::Arc;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +71,8 @@ struct Cfg {
     /// Hierarchy depth: 2 = the paper's flat node/rank machines, 3 = the
     /// socketized `[nodes, sockets, cores]` forms.
     levels: usize,
+    /// Bound-prune exhaustive sweeps (`--no-prune` turns this off).
+    prune: bool,
 }
 
 impl Cfg {
@@ -360,13 +370,16 @@ fn fig6(_cfg: &Cfg) {
     save_json("fig6", &out).ok();
 }
 
-/// Fig. 8: total tuning time of the four strategies.
-fn fig8(cfg: &Cfg) -> ([han_tuner::TuneResult; 4], Option<Arc<CostCache>>) {
+/// Fig. 8: total tuning time of the four strategies. `prune` bound-prunes
+/// the exhaustive sweeps (winner tables are provably unchanged); callers
+/// that consume the full sample distribution must pass `false`.
+fn fig8(cfg: &Cfg, prune: bool) -> ([han_tuner::TuneResult; 4], Option<Arc<CostCache>>) {
     let preset = cfg.tuning();
     println!(
-        "## Fig. 8 — total search time, Bcast+Allreduce, {} nodes x {} ppn\n",
+        "## Fig. 8 — total search time, Bcast+Allreduce, {} nodes x {} ppn{}\n",
         preset.topology.nodes(),
-        preset.topology.ppn()
+        preset.topology.ppn(),
+        if prune { " (bound-pruned)" } else { "" }
     );
     let mut space = SearchSpace::standard();
     if cfg.scale == Scale::Mini {
@@ -380,7 +393,14 @@ fn fig8(cfg: &Cfg) -> ([han_tuner::TuneResult; 4], Option<Arc<CostCache>>) {
         .iter()
         .map(|&s| {
             let t0 = std::time::Instant::now();
-            let r = tune_with_cache(&preset, &space, &colls, s, cache.clone());
+            let r = tune_with_opts(
+                &preset,
+                &space,
+                &colls,
+                s,
+                cache.clone(),
+                TuneOpts { prune },
+            );
             walls.push(t0.elapsed().as_secs_f64());
             r
         })
@@ -389,6 +409,7 @@ fn fig8(cfg: &Cfg) -> ([han_tuner::TuneResult; 4], Option<Arc<CostCache>>) {
     let mut t = Table::new(&[
         "strategy",
         "searches",
+        "pruned",
         "virtual time",
         "% of exhaustive",
         "wall (s)",
@@ -398,6 +419,7 @@ fn fig8(cfg: &Cfg) -> ([han_tuner::TuneResult; 4], Option<Arc<CostCache>>) {
         t.row(vec![
             r.strategy.name().to_string(),
             r.searches.to_string(),
+            r.pruned.to_string(),
             format!("{:.2}s", r.tuning_time.as_secs_f64()),
             format!("{:.1}%", 100.0 * r.tuning_time.as_secs_f64() / base),
             format!("{wall:.2}"),
@@ -432,7 +454,9 @@ fn fig8(cfg: &Cfg) -> ([han_tuner::TuneResult; 4], Option<Arc<CostCache>>) {
 /// Fig. 9: achieved collective latency per tuning method, against the
 /// exhaustive best/median/average.
 fn fig9(cfg: &Cfg) {
-    let (results, cache) = fig8(cfg);
+    // Fig. 9 reports the exhaustive best/median/average distribution, so
+    // the sweep must sample *every* candidate — pruning is forced off.
+    let (results, cache) = fig8(cfg, false);
     let preset = cfg.tuning();
     println!("## Fig. 9 — achieved latency by tuning method (us)\n");
     let probe_sizes: Vec<u64> = results[0]
@@ -842,10 +866,13 @@ fn main() {
     let mut scale = Scale::Paper;
     let mut cache = CacheMode::Mem;
     let mut levels = 2usize;
+    let mut prune = true;
     let mut what = "all".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--scale" {
+        if a == "--no-prune" {
+            prune = false;
+        } else if a == "--scale" {
             if let Some(v) = it.next() {
                 scale = if v == "mini" {
                     Scale::Mini
@@ -880,6 +907,7 @@ fn main() {
         scale,
         cache,
         levels,
+        prune,
     };
     if levels > 2 {
         // Deep sweeps write results/<fig>_d3.json; two-level files stay put.
@@ -913,7 +941,7 @@ fn main() {
         "fig6" => fig6(&cfg),
         "fig7" => fig7(&cfg),
         "fig8" => {
-            fig8(&cfg);
+            fig8(&cfg, cfg.prune);
         }
         "fig9" => fig9(&cfg),
         "fig10" => fig10(&cfg),
@@ -951,8 +979,21 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let wall = start.elapsed().as_secs_f64();
+    let eng = han_mpi::engine_totals();
     eprintln!(
-        "[repro] {what} done in {:.1}s wall",
-        start.elapsed().as_secs_f64()
+        "[repro] {what} done in {wall:.1}s wall; event engine: {} pushes, {} pops \
+         ({:.2}M events/s), max queue depth {}",
+        eng.pushes,
+        eng.pops,
+        eng.pops as f64 / wall.max(1e-9) / 1e6,
+        eng.max_depth
     );
+    if eng.clamped > 0 {
+        eprintln!(
+            "[repro] WARNING: {} event(s) were scheduled in the past and clamped \
+             to the current virtual time — simulation results may be suspect",
+            eng.clamped
+        );
+    }
 }

@@ -33,7 +33,9 @@
 use crate::buffer::Memory;
 use crate::program::{MsgId, OpId, OpKind, Program};
 use han_machine::{Machine, P2pParams};
-use han_sim::{EventQueue, Time};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use han_sim::{EngineStats, EventQueue, Time};
 
 /// How much work the executor does per event.
 ///
@@ -113,6 +115,9 @@ pub struct Report {
     pub makespan: Time,
     /// Number of simulator events processed (engine statistic).
     pub events: u64,
+    /// Event-engine counters for this execution (pushes, pops, clamped
+    /// past-scheduled events, peak queue depth).
+    pub engine: EngineStats,
 }
 
 impl Report {
@@ -120,6 +125,40 @@ impl Report {
     pub fn finish(&self, op: OpId) -> Time {
         self.op_finish[op.0 as usize]
     }
+}
+
+/// Process-wide event-engine totals, accumulated across every execution
+/// (all threads). `clamped > 0` means some event was scheduled in the past
+/// and silently clamped — a simulator bug that release builds would
+/// otherwise hide.
+static TOTAL_PUSHES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_POPS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_CLAMPED: AtomicU64 = AtomicU64::new(0);
+static TOTAL_MAX_DEPTH: AtomicU64 = AtomicU64::new(0);
+
+fn accumulate_engine_totals(s: &EngineStats) {
+    TOTAL_PUSHES.fetch_add(s.pushes, Ordering::Relaxed);
+    TOTAL_POPS.fetch_add(s.pops, Ordering::Relaxed);
+    TOTAL_CLAMPED.fetch_add(s.clamped, Ordering::Relaxed);
+    TOTAL_MAX_DEPTH.fetch_max(s.max_depth, Ordering::Relaxed);
+}
+
+/// Snapshot of the process-wide engine totals.
+pub fn engine_totals() -> EngineStats {
+    EngineStats {
+        pushes: TOTAL_PUSHES.load(Ordering::Relaxed),
+        pops: TOTAL_POPS.load(Ordering::Relaxed),
+        clamped: TOTAL_CLAMPED.load(Ordering::Relaxed),
+        max_depth: TOTAL_MAX_DEPTH.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset the process-wide engine totals (benchmark harnesses).
+pub fn reset_engine_totals() {
+    TOTAL_PUSHES.store(0, Ordering::Relaxed);
+    TOTAL_POPS.store(0, Ordering::Relaxed);
+    TOTAL_CLAMPED.store(0, Ordering::Relaxed);
+    TOTAL_MAX_DEPTH.store(0, Ordering::Relaxed);
 }
 
 /// Execute `prog` on `machine` (resources are reset first).
@@ -297,12 +336,14 @@ fn run_inner(
         rank_finish[r] = rank_finish[r].max(ex.finish[i]);
     }
     let makespan = rank_finish.iter().copied().max().unwrap_or(Time::ZERO);
-    let events = ex.q.processed();
+    let engine = ex.q.stats();
+    accumulate_engine_totals(&engine);
     let report = Report {
         op_finish: ex.finish,
         rank_finish,
         makespan,
-        events,
+        events: engine.pops,
+        engine,
     };
     (report, ex.mem)
 }

@@ -29,6 +29,9 @@
 //!   matching (each send/recv pair shares a unique tag by construction).
 //! * [`comm`] — communicators, including the `MPI_Comm_split_type`
 //!   node-split HAN relies on.
+//! * [`template`] — size-invariant program templates: a program's shape is
+//!   learned once and re-stamped with affine scalars per message size,
+//!   skipping the DAG rebuild on sweep-hot paths.
 //! * [`exec`] — the discrete-event executor.
 
 pub mod buffer;
@@ -37,12 +40,17 @@ pub mod comm;
 pub mod datatype;
 pub mod exec;
 pub mod program;
+pub mod template;
 pub mod trace;
 
 pub use buffer::{BufRange, Memory};
 pub use builder::ProgramBuilder;
 pub use comm::Comm;
 pub use datatype::{DataType, ReduceOp};
-pub use exec::{execute, execute_seeded, execute_with_memory, ExecMode, ExecOpts, Report};
+pub use exec::{
+    engine_totals, execute, execute_seeded, execute_with_memory, reset_engine_totals, ExecMode,
+    ExecOpts, Report,
+};
 pub use program::{Op, OpId, OpKind, Program};
+pub use template::ProgramTemplate;
 pub use trace::{trace_execution, Span, Trace};

@@ -21,7 +21,7 @@ pub struct MsgId(pub u32);
 
 /// What an op does. Resource costs are derived by the executor from the
 /// machine parameters; `OpKind` carries only semantics and sizes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OpKind {
     /// No-op: join/fork point for dependencies (also used to observe the
     /// completion time of a task).
@@ -79,7 +79,7 @@ pub enum OpKind {
 }
 
 /// A pre-matched point-to-point message.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MsgMeta {
     pub src: u32,
     pub dst: u32,
@@ -89,21 +89,60 @@ pub struct MsgMeta {
 }
 
 /// One operation, owned by `rank`, runnable once all `deps` finished.
-#[derive(Debug, Clone)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Op {
     pub rank: u32,
     pub kind: OpKind,
     pub deps: Vec<OpId>,
 }
 
+// Manual impl so `clone_from` reuses the per-op dependency allocation —
+// the dominant cost of cloning a program (one heap block per op). Template
+// re-specialization into a scratch program leans on this.
+impl Clone for Op {
+    fn clone(&self) -> Self {
+        Op {
+            rank: self.rank,
+            kind: self.kind.clone(),
+            deps: self.deps.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.rank = source.rank;
+        self.kind = source.kind.clone();
+        self.deps.clone_from(&source.deps);
+    }
+}
+
 /// A complete program over `nranks` world ranks.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct Program {
     pub ops: Vec<Op>,
     pub msgs: Vec<MsgMeta>,
     pub nranks: usize,
     /// Bump-allocated address-space size per rank (for data mode).
     pub mem_size: Vec<u64>,
+}
+
+// Field-wise `clone_from` so every vector (including each op's deps, via
+// `Op::clone_from`) reuses its existing allocation.
+impl Clone for Program {
+    fn clone(&self) -> Self {
+        Program {
+            ops: self.ops.clone(),
+            msgs: self.msgs.clone(),
+            nranks: self.nranks,
+            mem_size: self.mem_size.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.ops.clone_from(&source.ops);
+        self.msgs.clone_from(&source.msgs);
+        self.nranks = source.nranks;
+        self.mem_size.clone_from(&source.mem_size);
+    }
 }
 
 impl Program {

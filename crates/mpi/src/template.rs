@@ -1,0 +1,273 @@
+//! Program templates: size-invariant shapes with affine scalar re-stamping.
+//!
+//! Within one autotuning sweep the same `(config, topology, collective,
+//! segment-count)` point is built over and over at different message sizes,
+//! yet the resulting [`Program`]s differ only in their *scalars*: byte
+//! counts, buffer offsets/lengths and byte-derived delay durations. The op
+//! list, dependency edges and message matching — the expensive part of the
+//! build — are identical, and every scalar is an **affine function of the
+//! message size** `v(m) = v(m₀) + k·(m − m₀)` as long as the build's
+//! integer-division decisions (segment counts, sub-segmentation, fragment
+//! counts) are pinned by the template key.
+//!
+//! A [`ProgramTemplate`] is learned from two probe builds at distinct
+//! sizes: the shapes are checked for exact structural equality, each
+//! scalar's slope is recovered by exact integer division (any remainder
+//! rejects the pair as non-affine), and specialization then clones the
+//! base program and re-stamps the scalar stream — no tree construction, no
+//! per-call hash maps, no frontier bookkeeping. The caller (the template
+//! store in `han-colls`) is responsible for keying entries so that builds
+//! with different shapes or non-affine scalars never share a template.
+
+use crate::program::{OpKind, Program};
+
+/// Visit every size-dependent scalar of `p` in a fixed deterministic
+/// order: per-op scalars (durations, byte counts, buffer ranges) in op
+/// order, then per-message scalars, then per-rank memory sizes.
+fn for_each_scalar_mut(p: &mut Program, f: &mut impl FnMut(&mut u64)) {
+    fn range(r: &mut Option<crate::buffer::BufRange>, f: &mut impl FnMut(&mut u64)) {
+        if let Some(r) = r {
+            f(&mut r.off);
+            f(&mut r.len);
+        }
+    }
+    for op in &mut p.ops {
+        match &mut op.kind {
+            OpKind::Nop | OpKind::Send { .. } | OpKind::Recv { .. } => {}
+            OpKind::Delay { dur } | OpKind::Sleep { dur } => f(&mut dur.0),
+            OpKind::Copy { bytes, src, dst }
+            | OpKind::CrossCopy {
+                bytes, src, dst, ..
+            }
+            | OpKind::Reduce {
+                bytes, src, dst, ..
+            }
+            | OpKind::ReduceFrom {
+                bytes, src, dst, ..
+            } => {
+                f(bytes);
+                range(src, f);
+                range(dst, f);
+            }
+        }
+    }
+    for m in &mut p.msgs {
+        f(&mut m.bytes);
+        range(&mut m.sbuf, f);
+        range(&mut m.dbuf, f);
+    }
+    for sz in &mut p.mem_size {
+        f(sz);
+    }
+}
+
+/// The scalar stream of `p` (see `for_each_scalar_mut` for the order).
+pub fn collect_scalars(p: &Program) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut q = p.clone();
+    for_each_scalar_mut(&mut q, &mut |s| out.push(*s));
+    out
+}
+
+/// A size-invariant program shape plus per-scalar affine coefficients.
+#[derive(Debug, Clone)]
+pub struct ProgramTemplate {
+    base_m: u64,
+    base: Program,
+    /// `(value at base_m, slope per message byte)` per scalar, in stream
+    /// order.
+    coeffs: Vec<(u64, i64)>,
+}
+
+impl ProgramTemplate {
+    /// Learn a template from two probe builds of the same shape at
+    /// distinct message sizes.
+    ///
+    /// Returns `None` when the programs differ structurally (anywhere
+    /// outside the scalar stream) or when any scalar is not exactly affine
+    /// in the message size — callers must then fall back to cold builds.
+    pub fn learn(m1: u64, p1: &Program, m2: u64, p2: &Program) -> Option<ProgramTemplate> {
+        if m1 == m2 {
+            return None;
+        }
+        let s1 = collect_scalars(p1);
+        let s2 = collect_scalars(p2);
+        if s1.len() != s2.len() {
+            return None;
+        }
+        // Overlaying p1's scalars onto p2's shape must reproduce p1
+        // exactly: that proves the two builds differ *only* in the scalar
+        // stream (ops, deps, ranks, message matching all identical).
+        let mut shape_check = p2.clone();
+        let mut it = s1.iter();
+        for_each_scalar_mut(&mut shape_check, &mut |s| {
+            *s = *it.next().expect("scalar streams same length");
+        });
+        if shape_check != *p1 {
+            return None;
+        }
+        let dm = m2 as i128 - m1 as i128;
+        let mut coeffs = Vec::with_capacity(s1.len());
+        for (&a, &b) in s1.iter().zip(&s2) {
+            let dv = b as i128 - a as i128;
+            if dv % dm != 0 {
+                return None;
+            }
+            let slope = i64::try_from(dv / dm).ok()?;
+            coeffs.push((a, slope));
+        }
+        Some(ProgramTemplate {
+            base_m: m1,
+            base: p1.clone(),
+            coeffs,
+        })
+    }
+
+    /// Re-stamp the template's scalar stream for message size `m`.
+    ///
+    /// For any `m` whose build shares the template's shape (same template
+    /// key), this is bit-identical to a cold build: same ops, same deps,
+    /// same scalars — and therefore the same makespan, op finish times and
+    /// event count under the deterministic executor.
+    pub fn specialize(&self, m: u64) -> Program {
+        let mut p = self.base.clone();
+        self.restamp(m, &mut p);
+        p
+    }
+
+    /// [`Self::specialize`] into an existing program, reusing its
+    /// allocations (op vector, per-op dependency lists, messages). The
+    /// scratch's prior contents are irrelevant; the result is identical to
+    /// `specialize(m)`. This is the sweep's hot path: after the first call
+    /// a re-specialization performs no heap allocation at all.
+    pub fn specialize_into(&self, m: u64, out: &mut Program) {
+        out.clone_from(&self.base);
+        self.restamp(m, out);
+    }
+
+    fn restamp(&self, m: u64, p: &mut Program) {
+        let dm = m as i128 - self.base_m as i128;
+        let mut it = self.coeffs.iter();
+        for_each_scalar_mut(p, &mut |s| {
+            let &(base, slope) = it.next().expect("coeff stream matches shape");
+            let v = base as i128 + slope as i128 * dm;
+            debug_assert!((0..=u64::MAX as i128).contains(&v), "scalar out of range");
+            *s = v as u64;
+        });
+    }
+
+    /// Message size the template was learned at.
+    pub fn base_m(&self) -> u64 {
+        self.base_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufRange;
+    use crate::program::{MsgId, MsgMeta, Op, OpId};
+    use han_sim::Time;
+
+    /// A toy affine program: rank 0 copies m bytes then sends them; rank 1
+    /// receives; a byte-derived delay of 2m ps follows.
+    fn toy(m: u64) -> Program {
+        Program {
+            ops: vec![
+                Op {
+                    rank: 0,
+                    kind: OpKind::Copy {
+                        bytes: m,
+                        src: Some(BufRange::new(0, m)),
+                        dst: Some(BufRange::new(m, m)),
+                    },
+                    deps: vec![],
+                },
+                Op {
+                    rank: 0,
+                    kind: OpKind::Send { msg: MsgId(0) },
+                    deps: vec![OpId(0)],
+                },
+                Op {
+                    rank: 1,
+                    kind: OpKind::Recv { msg: MsgId(0) },
+                    deps: vec![],
+                },
+                Op {
+                    rank: 1,
+                    kind: OpKind::Delay {
+                        dur: Time::from_ps(2 * m),
+                    },
+                    deps: vec![OpId(2)],
+                },
+            ],
+            msgs: vec![MsgMeta {
+                src: 0,
+                dst: 1,
+                bytes: m,
+                sbuf: Some(BufRange::new(m, m)),
+                dbuf: Some(BufRange::new(0, m)),
+            }],
+            nranks: 2,
+            mem_size: vec![2 * m, m],
+        }
+    }
+
+    #[test]
+    fn learned_template_reproduces_cold_builds() {
+        let t = ProgramTemplate::learn(64, &toy(64), 4096, &toy(4096)).expect("affine");
+        for m in [64, 100, 4096, 1 << 20] {
+            assert_eq!(t.specialize(m), toy(m));
+        }
+    }
+
+    #[test]
+    fn non_affine_scalars_are_rejected() {
+        // ceil-style scalar: 7 at m=64 vs 8 at m=65 has slope 1, but
+        // m=64 → 7 vs m=192 → 9 gives slope 2/128: not integral.
+        let mut a = toy(64);
+        let mut b = toy(192);
+        if let OpKind::Delay { dur } = &mut a.ops[3].kind {
+            *dur = Time::from_ps(7);
+        }
+        if let OpKind::Delay { dur } = &mut b.ops[3].kind {
+            *dur = Time::from_ps(9);
+        }
+        assert!(ProgramTemplate::learn(64, &a, 192, &b).is_none());
+    }
+
+    #[test]
+    fn structural_differences_are_rejected() {
+        let a = toy(64);
+        let mut b = toy(128);
+        // Same scalar count, different dependency structure.
+        b.ops[3].deps = vec![];
+        b.ops[1].deps = vec![OpId(0)];
+        assert!(ProgramTemplate::learn(64, &a, 128, &b).is_none());
+        // Different op count.
+        let mut c = toy(128);
+        c.ops.push(Op {
+            rank: 0,
+            kind: OpKind::Nop,
+            deps: vec![],
+        });
+        assert!(ProgramTemplate::learn(64, &a, 128, &c).is_none());
+    }
+
+    #[test]
+    fn same_size_probes_are_rejected() {
+        let a = toy(64);
+        assert!(ProgramTemplate::learn(64, &a, 64, &a).is_none());
+    }
+
+    #[test]
+    fn scalar_stream_roundtrip() {
+        let p = toy(320);
+        let s = collect_scalars(&p);
+        // Copy: bytes + 2 ranges (5), Delay dur (1), msg: bytes + 2 ranges
+        // (5), mem_size (2).
+        assert_eq!(s.len(), 13);
+        let t = ProgramTemplate::learn(64, &toy(64), 128, &toy(128)).unwrap();
+        assert_eq!(collect_scalars(&t.specialize(320)), s);
+    }
+}

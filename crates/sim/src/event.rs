@@ -1,47 +1,97 @@
 //! Deterministic event queue.
 //!
-//! A thin wrapper over a binary heap keyed by `(time, sequence)`. The
-//! sequence number makes pops of simultaneous events FIFO in push order,
-//! which is the property that keeps the whole simulator deterministic: two
-//! runs of the same program produce identical resource-acquisition orders
-//! and therefore identical virtual timings.
+//! An arena-backed two-tier bucket ("calendar") queue keyed by
+//! `(time, sequence)`. The sequence number makes pops of simultaneous
+//! events FIFO in push order, which is the property that keeps the whole
+//! simulator deterministic: two runs of the same program produce identical
+//! resource-acquisition orders and therefore identical virtual timings.
+//!
+//! Layout: a near-future ring of fixed-width time buckets (width
+//! `2^BUCKET_SHIFT` ps) holds events close to the current clock; events
+//! beyond the ring land in a far-future overflow heap. Buckets partition
+//! the time axis, so the first occupied bucket always contains the global
+//! near minimum; within a bucket, nodes are kept in `(time, seq)`-stable
+//! append order so the first node carrying the bucket's minimum timestamp
+//! is also the lowest-sequence one. The far heap only drains into the ring
+//! ("migration") when the ring is empty, re-anchoring the ring base; every
+//! far event then lives in a bucket at or beyond the new base, so far
+//! events are never earlier than near ones.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::time::Time;
 
+/// log2 of the bucket width in picoseconds (2^16 ps ≈ 65.5 ns).
+const BUCKET_SHIFT: u32 = 16;
+/// Number of near-future buckets; the ring spans `NBUCKETS << BUCKET_SHIFT`
+/// picoseconds (≈ 67 µs) past its base.
+const NBUCKETS: usize = 1024;
+const OCC_WORDS: usize = NBUCKETS / 64;
+const NIL: u32 = u32::MAX;
+
+/// Engine counters accumulated over the queue's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EngineStats {
+    /// Events scheduled.
+    pub pushes: u64,
+    /// Events processed.
+    pub pops: u64,
+    /// Events scheduled in the past and clamped to `now` (release builds
+    /// only — debug builds panic instead). Nonzero means a simulator bug.
+    pub clamped: u64,
+    /// High-water mark of pending events.
+    pub max_depth: u64,
+}
+
+impl EngineStats {
+    /// Accumulate another engine's counters (max-merges `max_depth`).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.pushes += other.pushes;
+        self.pops += other.pops;
+        self.clamped += other.clamped;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+}
+
+#[derive(Debug)]
+struct Node<E> {
+    at: Time,
+    seq: u64,
+    next: u32,
+    payload: Option<E>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    head: u32,
+    tail: u32,
+    /// Exact minimum timestamp over the bucket's list (valid when occupied).
+    min_at: Time,
+}
+
+const EMPTY_BUCKET: Bucket = Bucket {
+    head: NIL,
+    tail: NIL,
+    min_at: Time::ZERO,
+};
+
 /// An event queue over payloads of type `E`.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    arena: Vec<Node<E>>,
+    free: u32,
+    buckets: Vec<Bucket>,
+    occ: [u64; OCC_WORDS],
+    /// Bucket index (absolute, `time >> BUCKET_SHIFT`) of ring slot 0.
+    base: u64,
+    near_len: usize,
+    /// Far-future overflow: min-heap on `(time, seq)`; the `u32` is the
+    /// arena slot holding the payload.
+    far: BinaryHeap<Reverse<(Time, u64, u32)>>,
     seq: u64,
     now: Time,
-    popped: u64,
-}
-
-#[derive(Debug)]
-struct Entry<E> {
-    at: Time,
-    seq: u64,
-    payload: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+    stats: EngineStats,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -53,41 +103,211 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            arena: Vec::new(),
+            free: NIL,
+            buckets: vec![EMPTY_BUCKET; NBUCKETS],
+            occ: [0; OCC_WORDS],
+            base: 0,
+            near_len: 0,
+            far: BinaryHeap::new(),
             seq: 0,
             now: Time::ZERO,
-            popped: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    fn alloc(&mut self, at: Time, seq: u64, payload: E) -> u32 {
+        if self.free != NIL {
+            let i = self.free;
+            let n = &mut self.arena[i as usize];
+            self.free = n.next;
+            n.at = at;
+            n.seq = seq;
+            n.next = NIL;
+            n.payload = Some(payload);
+            i
+        } else {
+            self.arena.push(Node {
+                at,
+                seq,
+                next: NIL,
+                payload: Some(payload),
+            });
+            (self.arena.len() - 1) as u32
+        }
+    }
+
+    fn release(&mut self, i: u32) -> E {
+        let n = &mut self.arena[i as usize];
+        let payload = n.payload.take().expect("node already released");
+        n.next = self.free;
+        self.free = i;
+        payload
+    }
+
+    /// Append an arena node to ring slot `r`, maintaining append order and
+    /// the bucket's exact minimum.
+    fn bucket_append(&mut self, r: usize, i: u32) {
+        let at = self.arena[i as usize].at;
+        let b = &mut self.buckets[r];
+        if b.head == NIL {
+            b.head = i;
+            b.tail = i;
+            b.min_at = at;
+            self.occ[r / 64] |= 1u64 << (r % 64);
+        } else {
+            let t = b.tail;
+            b.tail = i;
+            b.min_at = b.min_at.min(at);
+            self.arena[t as usize].next = i;
+        }
+        self.near_len += 1;
+    }
+
+    /// Slot of the first occupied bucket, if any.
+    fn first_occupied(&self) -> Option<usize> {
+        for (w, &bits) in self.occ.iter().enumerate() {
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Remove and return the `(time, seq)`-minimal node of bucket `r`.
+    ///
+    /// The list is in stable append order, so among nodes sharing the
+    /// minimal timestamp the first one found is the lowest-sequence one.
+    fn bucket_pop_min(&mut self, r: usize) -> u32 {
+        let min_at = self.buckets[r].min_at;
+        // Find the first node carrying the bucket minimum.
+        let mut prev = NIL;
+        let mut cur = self.buckets[r].head;
+        while self.arena[cur as usize].at != min_at {
+            prev = cur;
+            cur = self.arena[cur as usize].next;
+        }
+        // Unlink it.
+        let next = self.arena[cur as usize].next;
+        if prev == NIL {
+            self.buckets[r].head = next;
+        } else {
+            self.arena[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.buckets[r].tail = prev;
+        }
+        self.near_len -= 1;
+        // Recompute the bucket minimum; stop early on an equal timestamp
+        // (nothing in the bucket can be below the old minimum).
+        if self.buckets[r].head == NIL {
+            self.buckets[r] = EMPTY_BUCKET;
+            self.occ[r / 64] &= !(1u64 << (r % 64));
+        } else {
+            let mut m = Time::MAX;
+            let mut i = self.buckets[r].head;
+            while i != NIL {
+                let at = self.arena[i as usize].at;
+                if at == min_at {
+                    m = at;
+                    break;
+                }
+                m = m.min(at);
+                i = self.arena[i as usize].next;
+            }
+            self.buckets[r].min_at = m;
+        }
+        cur
+    }
+
+    /// Drain every far-heap event that now fits the ring, re-anchoring the
+    /// ring base at the far minimum. Only called when the ring is empty, so
+    /// re-anchoring cannot reorder near events. The heap yields events in
+    /// `(time, seq)` order, preserving stable append order in each bucket.
+    fn migrate(&mut self) {
+        debug_assert_eq!(self.near_len, 0);
+        let Some(&Reverse((t, _, _))) = self.far.peek() else {
+            return;
+        };
+        self.base = t.as_ps() >> BUCKET_SHIFT;
+        let horizon = self.base + NBUCKETS as u64;
+        while let Some(&Reverse((t, _, i))) = self.far.peek() {
+            let b = t.as_ps() >> BUCKET_SHIFT;
+            if b >= horizon {
+                break;
+            }
+            self.far.pop();
+            self.bucket_append((b - self.base) as usize, i);
         }
     }
 
     /// Schedule `payload` at absolute virtual time `at`.
     ///
     /// Scheduling in the past is a simulator bug; it panics in debug builds
-    /// and is clamped to `now` in release builds.
+    /// and is clamped to `now` (and counted in [`EngineStats::clamped`]) in
+    /// release builds.
     pub fn push(&mut self, at: Time, payload: E) {
         debug_assert!(
             at >= self.now,
             "event scheduled in the past: at={at:?} now={:?}",
             self.now
         );
-        let at = at.max(self.now);
+        let at = if at < self.now {
+            self.stats.clamped += 1;
+            self.now
+        } else {
+            at
+        };
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, payload }));
+        self.stats.pushes += 1;
+        if self.near_len == 0 && self.far.is_empty() {
+            // Queue is empty: re-anchor the ring so the event lands near
+            // slot 0 and the ring window stays useful as time advances.
+            self.base = at.as_ps() >> BUCKET_SHIFT;
+        }
+        let b = at.as_ps() >> BUCKET_SHIFT;
+        if b >= self.base + NBUCKETS as u64 {
+            let i = self.alloc(at, seq, payload);
+            self.far.push(Reverse((at, seq, i)));
+        } else {
+            // `b < base` can only happen transiently right after a far
+            // migration re-anchored the ring ahead of a not-yet-advanced
+            // clock; slot 0 is still the earliest bucket, and its exact
+            // `min_at` keeps ordering correct.
+            let r = b.saturating_sub(self.base) as usize;
+            let i = self.alloc(at, seq, payload);
+            self.bucket_append(r, i);
+        }
+        self.stats.max_depth = self.stats.max_depth.max(self.len() as u64);
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        let Reverse(e) = self.heap.pop()?;
-        debug_assert!(e.at >= self.now, "event queue went backwards");
-        self.now = e.at;
-        self.popped += 1;
-        Some((e.at, e.payload))
+        if self.near_len == 0 {
+            self.migrate();
+        }
+        let r = self.first_occupied()?;
+        let i = self.bucket_pop_min(r);
+        let at = self.arena[i as usize].at;
+        let payload = self.release(i);
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        self.stats.pops += 1;
+        Some((at, payload))
     }
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        if self.near_len > 0 {
+            // Buckets partition time: the first occupied bucket holds the
+            // global near minimum, and (ring empty ⇒ migration) far events
+            // are never earlier than near ones.
+            let r = self.first_occupied().expect("near_len > 0");
+            Some(self.buckets[r].min_at)
+        } else {
+            self.far.peek().map(|&Reverse((t, _, _))| t)
+        }
     }
 
     /// Current virtual time (timestamp of the last popped event).
@@ -96,16 +316,21 @@ impl<E> EventQueue<E> {
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.near_len == 0 && self.far.is_empty()
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.near_len + self.far.len()
     }
 
     /// Total number of events processed so far (engine statistic).
     pub fn processed(&self) -> u64 {
-        self.popped
+        self.stats.pops
+    }
+
+    /// Lifetime engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
     }
 }
 
@@ -157,5 +382,162 @@ mod tests {
         assert_eq!(q.now(), Time::ZERO);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    /// Reference check: the calendar queue must pop in exactly the
+    /// `(time, seq)` order a plain sorted list would.
+    fn assert_matches_reference(pushes: &[u64]) {
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, usize)> = Vec::new();
+        for (i, &ps) in pushes.iter().enumerate() {
+            q.push(Time::from_ps(ps), i);
+            reference.push((ps, i));
+        }
+        reference.sort();
+        let got: Vec<(u64, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, p)| (t.as_ps(), p))
+            .collect();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn cross_bucket_ordering_matches_reference() {
+        // Times straddling bucket boundaries, duplicates included.
+        let w = 1u64 << BUCKET_SHIFT;
+        assert_matches_reference(&[
+            3 * w + 1,
+            w - 1,
+            w,
+            w + 1,
+            0,
+            w - 1,
+            5 * w,
+            2 * w - 1,
+            2 * w,
+            w,
+        ]);
+    }
+
+    #[test]
+    fn far_future_events_migrate_in_order() {
+        let w = 1u64 << BUCKET_SHIFT;
+        let ring = NBUCKETS as u64 * w;
+        // Mix of near events and events far beyond the ring horizon, with
+        // equal-time pairs on both sides of the migration boundary.
+        assert_matches_reference(&[
+            5,
+            3 * ring + 7,
+            ring + 1,
+            5,
+            3 * ring + 7,
+            10 * ring,
+            2 * ring + w,
+            2 * ring + w,
+            0,
+        ]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_across_migrations() {
+        let w = 1u64 << BUCKET_SHIFT;
+        let ring = NBUCKETS as u64 * w;
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(1), 0u32);
+        q.push(Time::from_ps(2 * ring), 1);
+        assert_eq!(q.pop().unwrap().1, 0);
+        // After this pop the ring is empty; the next pop migrates the far
+        // event, re-anchoring base ahead of `now`. A push landing between
+        // `now` and the new base must still pop first.
+        q.push(Time::from_ps(2 * ring + 5), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(Time::from_ps(2 * ring + 5), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_time_flood_within_one_bucket() {
+        // Large same-timestamp bursts exercise the O(1) head-pop path.
+        let mut q = EventQueue::new();
+        let t = Time::from_ps(12345);
+        for i in 0..1000 {
+            q.push(t, i);
+        }
+        // A later, earlier-within-bucket event must pop before the flood's
+        // tail but after nothing (it is the new minimum).
+        q.push(Time::from_ps(12000), 5000);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        let mut expect: Vec<i32> = vec![5000];
+        expect.extend(0..1000);
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn stats_track_pushes_pops_and_depth() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.push(Time::from_ns(i), i);
+        }
+        assert_eq!(q.stats().pushes, 10);
+        assert_eq!(q.stats().max_depth, 10);
+        for _ in 0..4 {
+            q.pop();
+        }
+        assert_eq!(q.stats().pops, 4);
+        assert_eq!(q.stats().clamped, 0);
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn past_events_are_clamped_and_counted() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(10), 0);
+        q.pop();
+        q.push(Time::from_ns(5), 1); // in the past: clamped to now
+        let (t, p) = q.pop().unwrap();
+        assert_eq!(t, Time::from_ns(10));
+        assert_eq!(p, 1);
+        assert_eq!(q.stats().clamped, 1);
+    }
+
+    #[test]
+    fn arena_slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..50u64 {
+            for i in 0..8u64 {
+                q.push(Time::from_ns(round * 100 + i), i);
+            }
+            while q.pop().is_some() {}
+        }
+        // Steady-state churn must not grow the arena past the peak depth.
+        assert!(q.arena.len() <= 8, "arena grew to {}", q.arena.len());
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let a = EngineStats {
+            pushes: 3,
+            pops: 2,
+            clamped: 1,
+            max_depth: 5,
+        };
+        let mut b = EngineStats {
+            pushes: 10,
+            pops: 10,
+            clamped: 0,
+            max_depth: 2,
+        };
+        b.merge(&a);
+        assert_eq!(
+            b,
+            EngineStats {
+                pushes: 13,
+                pops: 12,
+                clamped: 1,
+                max_depth: 5,
+            }
+        );
     }
 }

@@ -31,7 +31,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::EventQueue;
+pub use event::{EngineStats, EventQueue};
 pub use resource::{Resource, ResourcePool};
 pub use rng::SimRng;
 pub use stats::{OnlineStats, Summary};

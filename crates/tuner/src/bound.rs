@@ -1,0 +1,254 @@
+//! Analytic lower bounds on collective makespans, for search pruning.
+//!
+//! A simulated makespan can never be smaller than the busy time of any
+//! single serialized resource, and every HAN machine cost function
+//! (`copy_time`, `reduce_time`, `wire_time`) is a pure rate — the executor
+//! charges exactly those durations per op on the owning resource. So an
+//! *exact sum of the durations of a known subset of ops on one resource*
+//! is a sound lower bound on the makespan, with no modeling slack to
+//! account for.
+//!
+//! [`lower_bound`] accounts three such resources, mirroring the task
+//! decomposition of `analytic.rs`/`model.rs` (paper eqs. 1–4) but keeping
+//! only conservation terms that hold for *every* schedule:
+//!
+//! * the root leader's NIC: one wire occupancy per inter-node
+//!   (sub-)segment message it sends (`ib`) or receives (`ir`), with the
+//!   exact `fs`/`ibs`/`irs` segmentation the builders produce;
+//! * a pure consumer's CPU: one `copy_time` per segment it cross-copies
+//!   out of its level leader's buffer (`sb`);
+//! * the root's CPU: one `reduce_time` per contribution it merges, across
+//!   the inter tree and every intra level it leads (`ir` + `sr`).
+//!
+//! The bound intentionally omits latencies, setup delays, bus and
+//! dependency effects — it only has to be *below* the true cost, and
+//! pruning uses strictly-greater comparison against the incumbent, so the
+//! exact winner set of a sweep is provably unchanged (see DESIGN.md).
+//!
+//! Collectives without a verified conservation argument return `None` and
+//! are never pruned.
+
+use han_colls::stack::Coll;
+use han_colls::tree::children;
+use han_colls::InterModule;
+use han_core::HanConfig;
+use han_machine::MachinePreset;
+use han_mpi::DataType;
+use han_sim::Time;
+
+/// HAN segment sizes for message `m` under segment width `fs`:
+/// `u − 1` full segments plus a short remainder.
+fn segment_sizes(m: u64, fs: u64) -> impl Iterator<Item = u64> {
+    let u = m.div_ceil(fs).max(1);
+    let rem = m - (u - 1) * fs;
+    std::iter::repeat(fs).take((u - 1) as usize).chain([rem])
+}
+
+/// Σ `cost(piece)` over a segment optionally split into `sub`-byte pieces
+/// (ADAPT's internal segmentation; `None` sends the segment whole).
+fn subseg_sum(seg: u64, sub: Option<u64>, cost: &impl Fn(u64) -> Time) -> Time {
+    match sub {
+        Some(s) if s > 0 && s < seg => {
+            let q = seg.div_ceil(s);
+            cost(s) * (q - 1) + cost(seg - (q - 1) * s)
+        }
+        _ => cost(seg),
+    }
+}
+
+/// Inter-node tree degree at the root, plus the effective sub-segment
+/// width, for the configured module/algorithm.
+fn inter_root(cfg: &HanConfig, nl: usize, reduce_tree: bool) -> (u64, Option<u64>, bool) {
+    match cfg.imod {
+        // Libnbc: binomial trees, no internal segmentation, scalar
+        // reductions.
+        InterModule::Libnbc => {
+            let deg = children(han_colls::TreeShape::Binomial, nl, 0).len() as u64;
+            (deg, None, false)
+        }
+        // ADAPT: configured shapes, `ibs`/`irs` segmentation, AVX.
+        InterModule::Adapt => {
+            let (alg, sub) = if reduce_tree {
+                (cfg.iralg, cfg.irs)
+            } else {
+                (cfg.ibalg, cfg.ibs)
+            };
+            let deg = children(alg.shape(), nl, 0).len() as u64;
+            (deg, sub, true)
+        }
+    }
+}
+
+/// A strict lower bound on `time_coll` for HAN with config `cfg`, or
+/// `None` when no sound bound is known for this collective. Assumes the
+/// sweep convention `root = 0` (rank 0 leads every level it belongs to).
+pub fn lower_bound(preset: &MachinePreset, cfg: &HanConfig, coll: Coll, m: u64) -> Option<Time> {
+    if m == 0 {
+        return Some(Time::ZERO);
+    }
+    let topo = &preset.topology;
+    let node = &preset.node;
+    let net = &preset.net;
+    let nl = topo.nodes();
+    let world = topo.world_size();
+    let el = DataType::Float32.size() as u64;
+
+    let wire = |b: u64| net.wire_time(b);
+    let copy = |b: u64| node.copy_time(b);
+
+    // Σ over segments of Σ over sub-segments of `cost`.
+    let seg_sum = |fs: u64, sub: Option<u64>, cost: &dyn Fn(u64) -> Time| -> Time {
+        segment_sizes(m, fs)
+            .map(|s| subseg_sum(s, sub, &|b| cost(b)))
+            .sum()
+    };
+
+    // Root CPU time merging `k − 1` contributions per intra level it
+    // leads, plus the inter-node reduce tree (allreduce/reduce only).
+    let root_reduce_cpu = |fs: u64| -> Time {
+        let mut t = Time::ZERO;
+        if nl > 1 {
+            let (deg, irs, vect) = inter_root(cfg, nl, true);
+            t += seg_sum(fs, irs, &|b| node.reduce_time(b, vect)) * deg;
+        }
+        for level in 1..topo.depth() {
+            let k = topo.levels()[level] as u64;
+            if k > 1 {
+                let vect = matches!(cfg.smod_at(level), han_colls::IntraModule::Solo);
+                t += seg_sum(fs, None, &|b| node.reduce_time(b, vect)) * (k - 1);
+            }
+        }
+        t
+    };
+
+    match coll {
+        Coll::Bcast => {
+            let fs = cfg.fs.max(1);
+            let mut best = Time::ZERO;
+            if nl > 1 {
+                let (deg, ibs, _) = inter_root(cfg, nl, false);
+                best = best.max(seg_sum(fs, ibs, &wire) * deg);
+            }
+            if world > nl {
+                // A pure consumer cross-copies every segment once.
+                best = best.max(seg_sum(fs, None, &copy));
+            }
+            Some(best)
+        }
+        Coll::Allreduce | Coll::Reduce => {
+            let fs = (cfg.fs / el).max(1) * el;
+            let mut best = root_reduce_cpu(fs);
+            if nl > 1 {
+                let (deg_r, irs, _) = inter_root(cfg, nl, true);
+                best = best.max(seg_sum(fs, irs, &wire) * deg_r);
+                if coll == Coll::Allreduce {
+                    let (deg_b, ibs, _) = inter_root(cfg, nl, false);
+                    best = best.max(seg_sum(fs, ibs, &wire) * deg_b);
+                }
+            }
+            if coll == Coll::Allreduce && world > nl {
+                // The final broadcast cross-copies every segment to each
+                // pure consumer.
+                best = best.max(seg_sum(fs, None, &copy));
+            }
+            Some(best)
+        }
+        // No conservation argument verified for these paths; never prune.
+        Coll::Gather | Coll::Scatter | Coll::Allgather | Coll::Barrier => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use han_colls::stack::time_coll;
+    use han_colls::{InterAlg, IntraModule};
+    use han_core::Han;
+    use han_machine::{mini, mini3, socketize};
+
+    fn configs() -> Vec<HanConfig> {
+        let mut out = Vec::new();
+        for fs in [1024, 64 * 1024, 1 << 20] {
+            for imod in [InterModule::Libnbc, InterModule::Adapt] {
+                for smod in [IntraModule::Sm, IntraModule::Solo] {
+                    for alg in [InterAlg::Chain, InterAlg::Binomial] {
+                        let mut cfg = HanConfig::default().with_fs(fs).with_intra(smod);
+                        cfg.imod = imod;
+                        cfg.ibalg = alg;
+                        cfg.iralg = alg;
+                        if imod == InterModule::Adapt && fs > 1024 {
+                            cfg.ibs = Some(16 * 1024);
+                            cfg.irs = Some(8 * 1024);
+                        }
+                        out.push(cfg);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The defining property: the bound never exceeds the simulated cost.
+    #[test]
+    fn bound_is_below_simulated_cost() {
+        for preset in [mini(4, 4), mini(2, 1), mini(1, 6), mini3(2, 2, 2)] {
+            for cfg in configs() {
+                for coll in [Coll::Bcast, Coll::Allreduce, Coll::Reduce] {
+                    for m in [64u64, 4096, 100_000, 1 << 20] {
+                        let Some(lb) = lower_bound(&preset, &cfg, coll, m) else {
+                            continue;
+                        };
+                        let t = time_coll(&Han::with_config(cfg), &preset, coll, m, 0).unwrap();
+                        assert!(
+                            lb <= t,
+                            "{} {coll:?} m={m} cfg={cfg:?}: bound {lb} > cost {t}",
+                            preset.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_is_nontrivial_at_scale() {
+        // At large message sizes the bandwidth terms dominate: the bound
+        // must capture a decent fraction of the true cost, otherwise it
+        // prunes nothing.
+        let preset = mini(4, 4);
+        let cfg = HanConfig::default().with_fs(256 * 1024);
+        let m = 8 << 20;
+        let lb = lower_bound(&preset, &cfg, Coll::Bcast, m).unwrap();
+        let t = time_coll(&Han::with_config(cfg), &preset, Coll::Bcast, m, 0).unwrap();
+        assert!(
+            lb.as_ps() * 4 >= t.as_ps(),
+            "bound {lb} too loose vs cost {t}"
+        );
+    }
+
+    #[test]
+    fn unbounded_collectives_return_none() {
+        let preset = mini(2, 2);
+        let cfg = HanConfig::default();
+        for coll in [Coll::Gather, Coll::Scatter, Coll::Allgather, Coll::Barrier] {
+            assert_eq!(lower_bound(&preset, &cfg, coll, 4096), None);
+        }
+    }
+
+    #[test]
+    fn three_level_socketized_bound_holds() {
+        let preset = socketize(mini(2, 8), 2, 0.6);
+        for smod in [IntraModule::Sm, IntraModule::Solo] {
+            let cfg = HanConfig::default()
+                .with_fs(128 * 1024)
+                .with_intra(smod)
+                .with_deep(2, IntraModule::Sm);
+            for coll in [Coll::Bcast, Coll::Allreduce] {
+                let m = 2 << 20;
+                let lb = lower_bound(&preset, &cfg, coll, m).unwrap();
+                let t = time_coll(&Han::with_config(cfg), &preset, coll, m, 0).unwrap();
+                assert!(lb <= t, "{coll:?}: bound {lb} > cost {t}");
+            }
+        }
+    }
+}

@@ -31,6 +31,7 @@
 //!   run and optionally persisted for warm-started repeated runs.
 
 pub mod analytic;
+pub mod bound;
 pub mod cache;
 pub mod calibrate;
 pub mod decision;
@@ -41,10 +42,12 @@ pub mod space;
 pub mod table;
 pub mod taskbench;
 
+pub use bound::lower_bound;
 pub use cache::{preset_fingerprint, CostCache};
 pub use decision::DecisionTree;
 pub use search::{
-    achieved_latency, achieved_latency_with_cache, tune, tune_with_cache, Strategy, TuneResult,
+    achieved_latency, achieved_latency_with_cache, tune, tune_with_cache, tune_with_opts, Strategy,
+    TuneOpts, TuneResult,
 };
 pub use space::SearchSpace;
 pub use table::LookupTable;

@@ -13,15 +13,18 @@
 //! Tuning cost is measured in *virtual benchmark time* (what the cluster
 //! would spend) plus the run count; both are reported per strategy.
 
+use crate::bound::lower_bound;
 use crate::cache::CostCache;
 use crate::model::predict;
 use crate::space::SearchSpace;
 use crate::table::LookupTable;
 use crate::taskbench::{TaskBench, BENCH_ITERS};
 use han_colls::stack::{time_coll_on, Coll, Unsupported};
+use han_colls::template::{time_coll_templated, TemplateStore};
 use han_colls::MpiStack;
 use han_core::{Han, HanConfig};
 use han_machine::{Machine, MachinePreset};
+use han_mpi::Program;
 use han_sim::Time;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -79,6 +82,20 @@ pub struct TuneResult {
     /// Collectives the stack or cost model declined, deduplicated — the
     /// sweep skips them and reports here instead of panicking.
     pub skipped: Vec<Unsupported>,
+    /// Candidate configurations skipped because their analytic lower bound
+    /// already exceeded the incumbent best (see [`crate::bound`]); always
+    /// zero unless [`TuneOpts::prune`] is set.
+    pub pruned: u64,
+}
+
+/// Knobs for [`tune_with_opts`] beyond strategy and cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TuneOpts {
+    /// Skip simulating candidates whose analytic lower bound strictly
+    /// exceeds the incumbent best for the same `(coll, m)` group. Winners
+    /// are provably identical; `tuning_time`/`searches`/`samples` shrink
+    /// to the simulated subset.
+    pub prune: bool,
 }
 
 fn note_skip(skipped: &mut Vec<Unsupported>, e: Unsupported) {
@@ -107,14 +124,31 @@ pub fn tune_with_cache(
     strategy: Strategy,
     cache: Option<Arc<CostCache>>,
 ) -> TuneResult {
+    tune_with_opts(preset, space, colls, strategy, cache, TuneOpts::default())
+}
+
+/// [`tune_with_cache`] with explicit [`TuneOpts`]. With `prune` enabled
+/// the exhaustive strategies skip provably-losing candidates; the selected
+/// winners are identical either way.
+pub fn tune_with_opts(
+    preset: &MachinePreset,
+    space: &SearchSpace,
+    colls: &[Coll],
+    strategy: Strategy,
+    cache: Option<Arc<CostCache>>,
+    opts: TuneOpts,
+) -> TuneResult {
     if strategy.task_based() {
         tune_task_based(preset, space, colls, strategy, cache)
     } else {
-        tune_exhaustive(preset, space, colls, strategy, cache)
+        tune_exhaustive(preset, space, colls, strategy, cache, opts)
     }
 }
 
 /// Simulate (or recall) the latency of one HAN collective configuration.
+/// Sweeps pass a [`TemplateStore`] plus a worker-local scratch program so
+/// repeated shapes specialize an interned template into reused allocations
+/// instead of rebuilding the DAG (bit-identical result).
 fn coll_cost(
     machine: &mut Machine,
     preset: &MachinePreset,
@@ -122,16 +156,28 @@ fn coll_cost(
     m: u64,
     cfg: HanConfig,
     cache: Option<&CostCache>,
+    templates: Option<(&TemplateStore, &mut Program)>,
 ) -> Result<Time, Unsupported> {
     if let Some(t) = cache.and_then(|c| c.lookup_coll(coll, &cfg, m)) {
         return Ok(t);
     }
     let han = Han::with_config(cfg);
-    let t = time_coll_on(&han, machine, preset, coll, m, 0)?;
+    let t = match templates {
+        Some((store, scratch)) => {
+            time_coll_templated(&han, store, machine, preset, coll, m, 0, scratch)?
+        }
+        None => time_coll_on(&han, machine, preset, coll, m, 0)?,
+    };
     if let Some(c) = cache {
         c.record_coll(coll, &cfg, m, t);
     }
     Ok(t)
+}
+
+/// Per-config outcome within one `(coll, m)` group.
+enum Outcome {
+    Cost(Result<Time, Unsupported>),
+    Pruned,
 }
 
 fn tune_exhaustive(
@@ -140,76 +186,101 @@ fn tune_exhaustive(
     colls: &[Coll],
     strategy: Strategy,
     cache: Option<Arc<CostCache>>,
+    opts: TuneOpts,
 ) -> TuneResult {
     let mut table = LookupTable::for_topology(&preset.topology);
     let mut tuning_time = Time::ZERO;
     let mut searches = 0u64;
+    let mut pruned = 0u64;
     let mut skipped: Vec<Unsupported> = Vec::new();
 
-    // Enumerate every benchmark point up front in deterministic order.
-    // Parallelism is work-stealing over this flat job list: large message
-    // sizes cost orders of magnitude more than small ones, so static
-    // striping load-imbalances badly; an atomic cursor keeps every worker
-    // busy until the queue drains. Results are stored by job index, so the
-    // outcome is bit-identical to a sequential sweep regardless of worker
-    // count or completion order.
-    let mut jobs: Vec<(Coll, u64, HanConfig)> = Vec::new();
+    // Enumerate every `(coll, m)` group with its candidate configs up
+    // front, in deterministic order. Parallelism is work-stealing over
+    // *groups* via an atomic cursor: large message sizes cost orders of
+    // magnitude more than small ones, so static striping load-imbalances
+    // badly. Within a group, candidates run sequentially in ascending
+    // `(lower bound, enumeration index)` order against a running
+    // incumbent, so bound pruning is deterministic — the visit order, and
+    // therefore the pruned set, never depends on worker count or
+    // completion timing. Results are merged by group index, making the
+    // whole sweep bit-identical to a sequential one.
+    let mut groups: Vec<(Coll, u64, Vec<HanConfig>)> = Vec::new();
     for &coll in colls {
         for &m in &space.msg_sizes {
-            for cfg in space.configs_for(m, &preset.topology, strategy.heuristic()) {
-                jobs.push((coll, m, cfg));
-            }
+            let cfgs = space.configs_for(m, &preset.topology, strategy.heuristic());
+            groups.push((coll, m, cfgs));
         }
     }
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
-        .min(jobs.len().max(1));
+        .min(groups.len().max(1));
 
+    // Shared template store: every worker re-stamps interned program
+    // shapes instead of cold-building (results are bit-identical).
+    let templates = TemplateStore::new();
     let next = AtomicUsize::new(0);
-    let mut costs: Vec<Result<Time, Unsupported>> = Vec::with_capacity(jobs.len());
+    let mut outcomes: Vec<Vec<Outcome>> = Vec::with_capacity(groups.len());
     std::thread::scope(|s| {
-        let jobs = &jobs;
+        let groups = &groups;
         let next = &next;
         let cache = cache.as_deref();
+        let templates = &templates;
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(move || {
-                    // One machine per worker, reset between jobs by the
-                    // executor — never rebuilt from the preset.
+                    // One machine and one scratch program per worker; the
+                    // machine is reset between jobs by the executor, the
+                    // scratch's allocations are reused by specialization.
                     let mut machine = Machine::from_preset(preset);
-                    let mut out: Vec<(usize, Result<Time, Unsupported>)> = Vec::new();
+                    let mut scratch = Program::default();
+                    let mut out: Vec<(usize, Vec<Outcome>)> = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs.len() {
+                        let g = next.fetch_add(1, Ordering::Relaxed);
+                        if g >= groups.len() {
                             break;
                         }
-                        let (coll, m, cfg) = jobs[i];
-                        let t = coll_cost(&mut machine, preset, coll, m, cfg, cache);
-                        out.push((i, t));
+                        let (coll, m, cfgs) = &groups[g];
+                        out.push((
+                            g,
+                            run_group(
+                                &mut machine,
+                                &mut scratch,
+                                preset,
+                                *coll,
+                                *m,
+                                cfgs,
+                                cache,
+                                templates,
+                                opts,
+                            ),
+                        ));
                     }
                     out
                 })
             })
             .collect();
-        let mut merged: Vec<Option<Result<Time, Unsupported>>> = vec![None; jobs.len()];
+        let mut merged: Vec<Option<Vec<Outcome>>> = (0..groups.len()).map(|_| None).collect();
         for h in handles {
-            for (i, t) in h.join().unwrap() {
-                merged[i] = Some(t);
+            for (g, r) in h.join().unwrap() {
+                merged[g] = Some(r);
             }
         }
-        costs.extend(merged.into_iter().map(|t| t.expect("every job ran")));
+        outcomes.extend(merged.into_iter().map(|r| r.expect("every group ran")));
     });
 
-    let mut samples = Vec::with_capacity(jobs.len());
-    for (&(coll, m, cfg), t) in jobs.iter().zip(&costs) {
-        match t {
-            Ok(t) => {
-                tuning_time += *t * BENCH_ITERS;
-                searches += 1;
-                samples.push((coll, m, cfg, *t));
+    let mut samples = Vec::new();
+    for ((coll, m, cfgs), results) in groups.iter().zip(&outcomes) {
+        for (cfg, r) in cfgs.iter().zip(results) {
+            match r {
+                Outcome::Cost(Ok(t)) => {
+                    tuning_time += *t * BENCH_ITERS;
+                    searches += 1;
+                    samples.push((*coll, *m, *cfg, *t));
+                }
+                Outcome::Cost(Err(e)) => note_skip(&mut skipped, e.clone()),
+                Outcome::Pruned => pruned += 1,
             }
-            Err(e) => note_skip(&mut skipped, e.clone()),
         }
     }
 
@@ -232,7 +303,78 @@ fn tune_exhaustive(
         searches,
         samples,
         skipped,
+        pruned,
     }
+}
+
+/// Benchmark one `(coll, m)` group, optionally pruning candidates whose
+/// analytic lower bound exceeds the incumbent best.
+///
+/// Soundness of the winner set: the true optimum `c*` has
+/// `bound(c*) ≤ cost(c*) ≤ incumbent` at every point of the scan, so it is
+/// never pruned (the comparison is strict); conversely any pruned `c` has
+/// `cost(c) ≥ bound(c) > incumbent ≥ min cost`, so it can neither win nor
+/// tie. The surviving minimum — and, because candidates keep their
+/// enumeration order in the output, the tie-broken winner — is identical
+/// to the unpruned sweep's.
+#[allow(clippy::too_many_arguments)]
+fn run_group(
+    machine: &mut Machine,
+    scratch: &mut Program,
+    preset: &MachinePreset,
+    coll: Coll,
+    m: u64,
+    cfgs: &[HanConfig],
+    cache: Option<&CostCache>,
+    templates: &TemplateStore,
+    opts: TuneOpts,
+) -> Vec<Outcome> {
+    // Visit candidates cheapest-bound-first: tight early incumbents
+    // maximize later prunes, and the fixed `(bound, index)` key keeps the
+    // scan deterministic. Without pruning the visit order is irrelevant
+    // (results are keyed by index), so skip the bound computation
+    // entirely — it would be pure overhead on warm-cache sweeps.
+    let order: Vec<(Option<Time>, usize)> = if opts.prune {
+        let mut order: Vec<(Option<Time>, usize)> = cfgs
+            .iter()
+            .enumerate()
+            .map(|(i, cfg)| (lower_bound(preset, cfg, coll, m), i))
+            .collect();
+        order.sort_by_key(|&(b, i)| (b.unwrap_or(Time::ZERO), i));
+        order
+    } else {
+        (0..cfgs.len()).map(|i| (None, i)).collect()
+    };
+
+    let mut results: Vec<Option<Outcome>> = (0..cfgs.len()).map(|_| None).collect();
+    let mut incumbent: Option<Time> = None;
+    for (bound, i) in order {
+        if opts.prune {
+            if let (Some(b), Some(inc)) = (bound, incumbent) {
+                if b > inc {
+                    results[i] = Some(Outcome::Pruned);
+                    continue;
+                }
+            }
+        }
+        let r = coll_cost(
+            machine,
+            preset,
+            coll,
+            m,
+            cfgs[i],
+            cache,
+            Some((templates, &mut *scratch)),
+        );
+        if let Ok(t) = &r {
+            incumbent = Some(incumbent.map_or(*t, |inc| inc.min(*t)));
+        }
+        results[i] = Some(Outcome::Cost(r));
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every candidate visited"))
+        .collect()
 }
 
 fn tune_task_based(
@@ -279,6 +421,7 @@ fn tune_task_based(
         searches: tb.runs,
         samples,
         skipped,
+        pruned: 0,
     }
 }
 
@@ -307,7 +450,7 @@ pub fn achieved_latency_with_cache(
     let han = Han::with_config(cfg);
     let _ = han.name();
     let mut machine = Machine::from_preset(preset);
-    coll_cost(&mut machine, preset, coll, m, cfg, cache)
+    coll_cost(&mut machine, preset, coll, m, cfg, cache, None)
 }
 
 #[cfg(test)]
@@ -406,6 +549,54 @@ mod tests {
         assert!(tk.table.sampled_sizes(Coll::Reduce).is_empty());
         assert_eq!(tk.skipped.len(), 1);
         assert_eq!(tk.skipped[0].coll, Coll::Reduce);
+    }
+
+    #[test]
+    fn pruned_sweep_selects_identical_winners() {
+        // Pruning may only skip candidates that provably cannot win or
+        // tie, so the resulting lookup table — winner configs *and*
+        // costs — must be byte-for-byte the unpruned table's, on both
+        // two- and three-level machines.
+        for preset in [mini(2, 4), han_machine::mini3(2, 2, 2)] {
+            let mut space = tiny_space();
+            space.intra = vec![han_colls::IntraModule::Sm, han_colls::IntraModule::Solo];
+            let colls = [Coll::Bcast, Coll::Allreduce, Coll::Reduce];
+            let plain = tune_with_opts(
+                &preset,
+                &space,
+                &colls,
+                Strategy::Exhaustive,
+                None,
+                TuneOpts { prune: false },
+            );
+            let fast = tune_with_opts(
+                &preset,
+                &space,
+                &colls,
+                Strategy::Exhaustive,
+                None,
+                TuneOpts { prune: true },
+            );
+            assert_eq!(plain.pruned, 0);
+            assert!(
+                fast.pruned > 0,
+                "{}: pruning should fire on this space",
+                preset.name
+            );
+            assert_eq!(fast.searches + fast.pruned, plain.searches);
+            for &coll in &colls {
+                for &m in &space.msg_sizes {
+                    let a = plain.table.get(coll, m);
+                    let b = fast.table.get(coll, m);
+                    assert_eq!(
+                        a.map(|e| (e.cfg, e.cost_ps)),
+                        b.map(|e| (e.cfg, e.cost_ps)),
+                        "{} {coll:?} m={m}: pruned winner differs",
+                        preset.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Template-interning equivalence: a program re-stamped from an interned
+//! template must be **bit-identical** to a cold `build_coll` of the same
+//! size — same ops, same scalars, and therefore the same makespan, op
+//! finish times and event counts when executed.
+
+use han::colls::stack::{build_coll, Coll};
+use han::colls::TemplateStore;
+use han::machine::socketize;
+use han::mpi::{execute, OpId};
+use han::prelude::{
+    mini, ExecOpts, Han, HanConfig, InterAlg, InterModule, IntraModule, Machine, MpiStack,
+};
+use proptest::prelude::*;
+
+fn arb_config() -> impl proptest::strategy::Strategy<Value = HanConfig> {
+    (
+        1u64..=4096,
+        prop_oneof![Just(InterModule::Libnbc), Just(InterModule::Adapt)],
+        prop_oneof![Just(IntraModule::Sm), Just(IntraModule::Solo)],
+        prop_oneof![
+            Just(InterAlg::Chain),
+            Just(InterAlg::Binary),
+            Just(InterAlg::Binomial)
+        ],
+        prop_oneof![Just(None), (64u64..=2048).prop_map(Some)],
+        prop_oneof![Just(None), (64u64..=2048).prop_map(Some)],
+    )
+        .prop_map(|(fs, imod, smod, alg, ibs, irs)| HanConfig {
+            fs,
+            imod,
+            smod,
+            ibalg: alg,
+            iralg: alg,
+            ibs,
+            irs,
+            deep: [None; han::core::MAX_DEEP],
+        })
+}
+
+/// Build `coll` at every size through one shared store and cross-check
+/// each program and its execution against a cold build.
+fn assert_store_matches_cold(preset: &han::machine::MachinePreset, cfg: HanConfig, sizes: &[u64]) {
+    let han = Han::with_config(cfg);
+    let store = TemplateStore::new();
+    let mut machine = Machine::from_preset(preset);
+    for coll in Coll::ALL {
+        for &m in sizes {
+            let cold = match build_coll(&han, preset, coll, m, 0) {
+                Ok(p) => p,
+                Err(_) => continue, // unsupported combination: nothing to compare
+            };
+            let warm = store
+                .build(&han, preset, coll, m, 0)
+                .expect("cold build succeeded");
+            assert_eq!(cold, warm, "{coll:?} m={m} cfg={cfg}: programs differ");
+            let opts = ExecOpts::timing(han.flavor().p2p());
+            let rc = execute(&mut machine, &cold, &opts);
+            let rw = execute(&mut machine, &warm, &opts);
+            assert_eq!(rc.makespan, rw.makespan, "{coll:?} m={m}: makespan");
+            for i in 0..cold.len() {
+                let op = OpId(i as u32);
+                assert_eq!(
+                    rc.finish(op),
+                    rw.finish(op),
+                    "{coll:?} m={m}: op {i} finish time"
+                );
+            }
+            assert_eq!(rc.events, rw.events, "{coll:?} m={m}: event counts");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random two-level machines, configurations and size ladders: the
+    /// template store never changes what a build produces.
+    #[test]
+    fn templated_builds_are_bit_identical(
+        nodes in 1usize..4,
+        ppn in 1usize..4,
+        base in 1u64..5000,
+        cfg in arb_config(),
+    ) {
+        let preset = mini(nodes, ppn);
+        // An ascending ladder sharing low-order structure so some sizes
+        // land in the same template class (exercising specialization) and
+        // others don't (exercising probe/learn/unshareable paths).
+        let sizes = [base, base + 1, base + 2, base * 2, base * 2 + 1];
+        assert_store_matches_cold(&preset, cfg, &sizes);
+    }
+
+    /// Same guarantee on three-level (socketized) machines with a deep
+    /// intra module override.
+    #[test]
+    fn templated_builds_match_on_three_level_machines(
+        nodes in 1usize..3,
+        ppn in 2usize..5,
+        base in 1u64..3000,
+        cfg in arb_config(),
+        deep_solo in any::<bool>(),
+    ) {
+        let smod = if deep_solo { IntraModule::Solo } else { IntraModule::Sm };
+        let preset = socketize(mini(nodes, ppn * 2), 2, 1.4);
+        let cfg = cfg.with_deep(2, smod);
+        let sizes = [base, base + 4, base * 3];
+        assert_store_matches_cold(&preset, cfg, &sizes);
+    }
+}
+
+/// Deterministic reuse check: sizes chosen inside one template class must
+/// actually hit the specialization fast path, and the re-stamped programs
+/// must execute identically to cold builds.
+#[test]
+fn template_reuse_fires_and_matches() {
+    let preset = mini(4, 4);
+    let cfg = HanConfig::default().with_fs(256 * 1024);
+    let han = Han::with_config(cfg);
+    let store = TemplateStore::new();
+    let mut machine = Machine::from_preset(&preset);
+    // All in one class for fs = 256 KB: 16 segments, and the remainder
+    // segment spans the same number of 8 KB shared-memory fragments.
+    let sizes = [
+        (4 << 20) - 4096,
+        (4 << 20) - 2048,
+        4 << 20,
+        (4 << 20) - 1024,
+    ];
+    for &m in &sizes {
+        let cold = build_coll(&han, &preset, Coll::Bcast, m, 0).unwrap();
+        let warm = store.build(&han, &preset, Coll::Bcast, m, 0).unwrap();
+        assert_eq!(cold, warm, "m={m}");
+        let opts = ExecOpts::timing(han.flavor().p2p());
+        assert_eq!(
+            execute(&mut machine, &cold, &opts).makespan,
+            execute(&mut machine, &warm, &opts).makespan,
+        );
+    }
+    let stats = store.stats();
+    assert!(
+        stats.hits >= 2,
+        "sizes in one class must specialize, got {stats:?}"
+    );
+}
