@@ -5,13 +5,21 @@
 //!        [--stack han|tuned|cray|intel|mvapich2] [--fs 524288]
 //!        [--smod sm|solo] [--imod libnbc|adapt] [--alg chain|binary|binomial]
 //!        [--machine shaheen2|stampede2|mini] [--trace out.json]
-//!        [--mode timing|full] [--levels 8,2,4]
+//!        [--mode timing|full] [--levels 8,2,4] [--verify]
 //! ```
 //!
 //! Prints the virtual latency (and per-stack comparison when `--stack all`),
 //! optionally dumping a Chrome trace of the execution for inspection in
-//! `chrome://tracing` / Perfetto. A stack that does not implement the
-//! requested collective is reported as `unsupported` and skipped.
+//! `chrome://tracing` / Perfetto. In the `--stack all` comparison, a stack
+//! that does not implement the requested collective is reported as
+//! `unsupported` and skipped; when one stack is requested *explicitly*,
+//! an unsupported combination is an error and the process exits with
+//! code 3 (see `han_bench::gate`).
+//!
+//! `--verify` ignores the exploration flags and instead runs the
+//! `han-verify` performance-guideline catalog over the standard presets,
+//! writing `results/verify.json` and exiting nonzero on any violation —
+//! the same suite as `repro verify`.
 //!
 //! `--levels` replaces the `--nodes`/`--ppn` pair with an explicit
 //! level-extent vector, outermost first — e.g. `--levels 8,2,4` simulates
@@ -23,11 +31,18 @@ use han_core::{Han, HanConfig};
 use han_machine::{mini, shaheen2_ppn, stampede2_ppn, Machine, MachinePreset, Topology};
 use han_mpi::{trace_execution, ExecMode, ExecOpts};
 
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["verify"];
+
 fn parse_args() -> std::collections::HashMap<String, String> {
     let mut map = std::collections::HashMap::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if let Some(key) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&key) {
+                map.insert(key.to_string(), "1".to_string());
+                continue;
+            }
             let val = args.next().unwrap_or_else(|| {
                 eprintln!("missing value for --{key}");
                 std::process::exit(2);
@@ -36,6 +51,37 @@ fn parse_args() -> std::collections::HashMap<String, String> {
         }
     }
     map
+}
+
+/// `hansim --verify`: the guideline suite, identical to `repro verify`.
+fn run_verify() -> ! {
+    let report = han_verify::run_suite(&han_verify::standard_presets());
+    for g in &report.guidelines {
+        println!(
+            "{:>20}: {:>5} checks, {} violation(s)",
+            g.id,
+            g.checks,
+            g.violations.len()
+        );
+    }
+    for v in report.violations() {
+        eprintln!(
+            "[violation] {} on {} / {} ({}, m={}): {}",
+            v.guideline, v.preset, v.coll, v.config, v.m, v.detail
+        );
+    }
+    han_bench::report::save_json("verify", &report).ok();
+    println!(
+        "verify: {} checks, {} violation(s) -> results/verify.json",
+        report.total_checks, report.total_violations
+    );
+    if !report.passed() {
+        han_bench::gate::fail(format!(
+            "{} guideline violation(s)",
+            report.total_violations
+        ));
+    }
+    std::process::exit(han_bench::gate::finish("hansim"));
 }
 
 fn stack_by_name(name: &str, cfg: HanConfig) -> Box<dyn MpiStack> {
@@ -54,6 +100,9 @@ fn stack_by_name(name: &str, cfg: HanConfig) -> Box<dyn MpiStack> {
 
 fn main() {
     let args = parse_args();
+    if args.contains_key("verify") {
+        run_verify();
+    }
     let get = |k: &str, d: &str| args.get(k).cloned().unwrap_or_else(|| d.to_string());
 
     let nodes: usize = get("nodes", "4").parse().expect("--nodes");
@@ -154,6 +203,12 @@ fn main() {
             Ok(p) => p,
             Err(e) => {
                 println!("{:>18}: unsupported ({e})", stack.name());
+                // Skips are expected when comparing `all` stacks, but an
+                // explicitly requested stack that cannot run the
+                // requested collective must fail the invocation.
+                if which != "all" {
+                    han_bench::gate::note(&e);
+                }
                 continue;
             }
         };
@@ -187,5 +242,9 @@ fn main() {
             trace.save(std::path::Path::new(&p)).expect("write trace");
             println!("{:>18}  trace written to {p}", "");
         }
+    }
+    let code = han_bench::gate::finish("hansim");
+    if code != 0 {
+        std::process::exit(code);
     }
 }

@@ -5,7 +5,13 @@
 //! ```
 //!
 //! `<what>` ∈ `fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//! fig14 fig15 table3 ablation-pipeline ablation-irib ablation-models all`.
+//! fig14 fig15 table3 ablation-pipeline ablation-irib ablation-models
+//! verify all`.
+//!
+//! `verify` runs the `han-verify` performance-guideline catalog over the
+//! mini / mini3 / socketized presets and writes `results/verify.json`;
+//! any guideline violation (or any unexpected `Unsupported` skip in a
+//! sweep) makes the process exit with code 3, which CI gates on.
 //!
 //! `--scale paper` (default) uses the paper's machine shapes (Shaheen II:
 //! 128×32 = 4096 ranks; Stampede2: 32×48 = 1536; tuning: 64×12 = 768).
@@ -34,7 +40,7 @@
 //! testbeds' absolute microseconds. See `EXPERIMENTS.md`.
 
 use han_bench::report::{save_json, size_label, us, Table};
-use han_bench::{imb_sweep, netpipe_sweep, sizes};
+use han_bench::{gate, imb_sweep, netpipe_sweep, sizes};
 use han_colls::stack::{time_coll, time_coll_on, Coll, MpiStack};
 use han_colls::{InterAlg, InterModule, IntraModule, TunedOpenMpi, VendorMpi};
 use han_core::task::TaskSpec;
@@ -434,6 +440,9 @@ fn fig8(cfg: &Cfg, prune: bool) -> ([han_tuner::TuneResult; 4], Option<Arc<CostC
     for r in &results {
         for s in &r.skipped {
             println!("[skipped] {} ({})", s, r.strategy.name());
+            // Bcast and Allreduce are mandatory on every stack, so any
+            // skip in this sweep is a regression — fail the run.
+            gate::note(s);
         }
     }
     if let Some(c) = &cache {
@@ -861,6 +870,56 @@ fn ablation_models(cfg: &Cfg) {
     println!("{}", t.render());
 }
 
+/// `repro verify`: run the performance-guideline catalog (han-verify)
+/// over the standard mini / mini3 / socketized presets and persist the
+/// structured report. Violations are recorded on the exit-code gate so
+/// the process ends nonzero — this is what the CI smoke job runs.
+fn verify(_cfg: &Cfg) {
+    println!("## verify — performance-guideline catalog (han-verify)\n");
+    let presets = han_verify::standard_presets();
+    let report = han_verify::run_suite(&presets);
+
+    let mut t = Table::new(&["guideline", "checks", "violations"]);
+    for g in &report.guidelines {
+        t.row(vec![
+            g.id.clone(),
+            g.checks.to_string(),
+            g.violations.len().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    for v in report.violations() {
+        println!(
+            "[violation] {} on {} / {} ({}, m={}): {} (observed {} ps, bound {} ps, \
+             slack {:+.3})",
+            v.guideline,
+            v.preset,
+            v.coll,
+            v.config,
+            v.m,
+            v.detail,
+            v.observed_ps,
+            v.bound_ps,
+            v.rel_slack
+        );
+    }
+    save_json("verify", &report).ok();
+    println!(
+        "verify: {} presets, {} guidelines, {} checks, {} violation(s) \
+         -> results/verify.json",
+        report.presets.len(),
+        report.guidelines.len(),
+        report.total_checks,
+        report.total_violations
+    );
+    if !report.passed() {
+        gate::fail(format!(
+            "{} guideline violation(s)",
+            report.total_violations
+        ));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
@@ -954,6 +1013,7 @@ fn main() {
         "ablation-pipeline" => ablation_pipeline(&cfg),
         "ablation-irib" => ablation_irib(&cfg),
         "ablation-models" => ablation_models(&cfg),
+        "verify" => verify(&cfg),
         "all" => {
             fig2(&cfg);
             fig3(&cfg);
@@ -971,10 +1031,11 @@ fn main() {
             ablation_pipeline(&cfg);
             ablation_irib(&cfg);
             ablation_models(&cfg);
+            verify(&cfg);
         }
         other => {
             eprintln!(
-                "unknown target '{other}'; expected fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table3|ablation-*|all"
+                "unknown target '{other}'; expected fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table3|ablation-*|verify|all"
             );
             std::process::exit(2);
         }
@@ -995,5 +1056,9 @@ fn main() {
              to the current virtual time — simulation results may be suspect",
             eng.clamped
         );
+    }
+    let code = gate::finish("repro");
+    if code != 0 {
+        std::process::exit(code);
     }
 }

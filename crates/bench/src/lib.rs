@@ -7,11 +7,14 @@
 //!   (Fig. 11).
 //! * [`report`] — plain-text table rendering and JSON result persistence
 //!   shared by the `repro` binary.
+//! * [`gate`] — exit-code gating: unexpected `Unsupported` skips and
+//!   guideline violations turn into a nonzero exit for CI.
 //!
 //! The `repro` binary (`cargo run -p han-bench --release --bin repro -- <fig>`)
 //! regenerates every table and figure of the paper's evaluation; see
 //! `EXPERIMENTS.md` for the recorded outputs.
 
+pub mod gate;
 pub mod imb;
 pub mod netpipe;
 pub mod report;

@@ -1,0 +1,39 @@
+//! The skip gate, end to end: an explicitly requested stack/collective
+//! combination the stack does not implement must fail the `hansim`
+//! invocation with the gate's exit code, while the `--stack all`
+//! comparison (where skips are informational) stays green.
+
+use han_bench::gate::GATE_EXIT_CODE;
+use std::process::Command;
+
+fn hansim(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hansim"))
+        .args(args)
+        .args(["--nodes", "2", "--ppn", "2", "--bytes", "4096"])
+        .output()
+        .expect("run hansim")
+}
+
+#[test]
+fn explicitly_requested_unsupported_stack_exits_nonzero() {
+    let out = hansim(&["--stack", "cray", "--coll", "gather"]);
+    assert_eq!(out.status.code(), Some(GATE_EXIT_CODE), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("unsupported"), "stdout: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("UNEXPECTED"), "stderr: {stderr}");
+}
+
+#[test]
+fn all_stack_comparison_tolerates_unsupported() {
+    // The same combination is an expected skip inside the `all` sweep.
+    let out = hansim(&["--stack", "all", "--coll", "gather"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("unsupported"));
+}
+
+#[test]
+fn supported_combination_exits_zero() {
+    let out = hansim(&["--stack", "cray", "--coll", "bcast"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}

@@ -56,6 +56,8 @@
 //!   through splitting, composition, configuration and cost.
 //! * [`classic`] — the pre-generalization two-level builders, kept
 //!   verbatim as regression oracles.
+//! * [`composed`] — composed reference collectives (Reduce+Bcast,
+//!   Scatter+Allgather) backing `han-verify`'s composition guidelines.
 
 // Collective builders iterate ranks/leaders by index into several
 // parallel per-rank buffer arrays at once; iterator rewrites of those
@@ -65,6 +67,7 @@
 pub mod allreduce;
 pub mod bcast;
 pub mod classic;
+pub mod composed;
 pub mod config;
 pub mod extend;
 pub mod han;

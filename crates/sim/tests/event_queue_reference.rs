@@ -1,0 +1,118 @@
+//! Property test: the calendar event queue is observationally equivalent
+//! to a plain `BinaryHeap` ordered by `(time, seq)` under arbitrary
+//! interleavings of pushes and pops — including far-future events that
+//! cross the ring horizon and migrate back, and (release builds only)
+//! pushes into the past, which must clamp to the current clock exactly
+//! like the reference model.
+
+use han_sim::{EventQueue, Time};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Bucket width and ring span of the calendar queue (mirrors the
+/// constants in `han_sim::event`; the property holds for any values, the
+/// offsets below just aim the generator at the boundaries).
+const BUCKET_W: u64 = 1 << 16;
+const RING: u64 = 1024 * BUCKET_W;
+
+/// Reference model: min-heap on `(time_ps, seq)` plus the popped clock.
+#[derive(Default)]
+struct Model {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    seq: u64,
+    now: u64,
+}
+
+impl Model {
+    fn push(&mut self, at_ps: u64) {
+        self.heap.push(Reverse((at_ps, self.seq)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        let Reverse((t, s)) = self.heap.pop()?;
+        self.now = t;
+        Some((t, s))
+    }
+}
+
+/// One generated operation: `kind` selects push-near / push-far / pop,
+/// `off` is a time offset from the current virtual clock.
+fn arb_ops() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..8, 0u64..3 * RING), 1..250)
+}
+
+fn run_against_reference(ops: &[(u64, u64)], past_pushes: bool) {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut model = Model::default();
+    let mut expect_clamped = 0u64;
+    for &(kind, off) in ops {
+        match kind {
+            // Frequent near pushes around bucket boundaries.
+            0..=3 => {
+                let at = model.now + off % (4 * BUCKET_W);
+                q.push(Time::from_ps(at), model.seq);
+                model.push(at);
+            }
+            // Occasional pushes up to several ring spans out.
+            4..=5 => {
+                let at = model.now + off;
+                q.push(Time::from_ps(at), model.seq);
+                model.push(at);
+            }
+            // Release builds clamp past events to `now`; model likewise.
+            6 if past_pushes => {
+                let at = model.now.saturating_sub(off % (2 * BUCKET_W));
+                if at < model.now {
+                    expect_clamped += 1;
+                }
+                q.push(Time::from_ps(at), model.seq);
+                model.push(at.max(model.now));
+            }
+            _ => {
+                let got = q.pop();
+                let want = model.pop();
+                assert_eq!(
+                    got.map(|(t, p)| (t.as_ps(), p)),
+                    want,
+                    "pop diverged from reference"
+                );
+                assert_eq!(q.now().as_ps(), model.now);
+            }
+        }
+        assert_eq!(q.len(), model.heap.len());
+        assert_eq!(
+            q.peek_time().map(Time::as_ps),
+            model.heap.peek().map(|r| r.0 .0)
+        );
+    }
+    // Drain: every remaining event pops in exact (time, seq) order.
+    while let Some(want) = model.pop() {
+        let (t, p) = q.pop().expect("queue drained before reference");
+        assert_eq!((t.as_ps(), p), want);
+    }
+    assert!(q.pop().is_none());
+    assert!(q.is_empty());
+    let stats = q.stats();
+    assert_eq!(stats.pushes, model.seq);
+    assert_eq!(stats.pops, model.seq);
+    assert_eq!(stats.clamped, expect_clamped);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn calendar_queue_matches_binary_heap(ops in arb_ops()) {
+        run_against_reference(&ops, false);
+    }
+
+    /// Past-time pushes panic under `debug_assert`, so the clamp branch is
+    /// only reachable — and only modeled — in release builds.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn calendar_queue_matches_binary_heap_with_clamps(ops in arb_ops()) {
+        run_against_reference(&ops, true);
+    }
+}

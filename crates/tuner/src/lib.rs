@@ -46,8 +46,8 @@ pub use bound::lower_bound;
 pub use cache::{preset_fingerprint, CostCache};
 pub use decision::DecisionTree;
 pub use search::{
-    achieved_latency, achieved_latency_with_cache, tune, tune_with_cache, tune_with_opts, Strategy,
-    TuneOpts, TuneResult,
+    achieved_latency, achieved_latency_with_cache, candidate_costs, tune, tune_with_cache,
+    tune_with_opts, Strategy, TuneOpts, TuneResult,
 };
 pub use space::SearchSpace;
 pub use table::LookupTable;

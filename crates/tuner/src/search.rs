@@ -425,6 +425,29 @@ fn tune_task_based(
     }
 }
 
+/// Simulate every candidate configuration `space` enumerates for one
+/// `(coll, m)` group — unpruned, in enumeration order. This is the ground
+/// truth a tuned table must dominate: `han_verify`'s table-dominance
+/// guideline checks the table winner against every `(cfg, cost)` pair
+/// returned here, pinning bound-pruning soundness end-to-end.
+pub fn candidate_costs(
+    preset: &MachinePreset,
+    space: &SearchSpace,
+    coll: Coll,
+    m: u64,
+    heuristic: bool,
+) -> Vec<(HanConfig, Result<Time, Unsupported>)> {
+    let mut machine = Machine::from_preset(preset);
+    space
+        .configs_for(m, &preset.topology, heuristic)
+        .into_iter()
+        .map(|cfg| {
+            let r = coll_cost(&mut machine, preset, coll, m, cfg, None, None);
+            (cfg, r)
+        })
+        .collect()
+}
+
 /// Measure the *achieved* collective latency of a tuned table: run the
 /// collective with the configuration the table selects (the red/green
 /// bars of Fig. 9).

@@ -1,0 +1,164 @@
+//! Structured guideline outcomes: violations, per-guideline reports, and
+//! the aggregated suite report that `repro verify` serializes to
+//! `results/verify.json` for the CI gate.
+
+use serde::{Deserialize, Serialize};
+
+/// One broken performance guideline: the configuration and message size
+/// at which the observed cost exceeded (or, for equality oracles,
+/// diverged from) the bound the guideline promises.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Violation {
+    /// Stable guideline identifier (e.g. `msg-monotonicity`).
+    pub guideline: String,
+    /// Machine preset the check ran on.
+    pub preset: String,
+    /// Collective under test.
+    pub coll: String,
+    /// Stack / configuration label (a `HanConfig` display or stack name).
+    pub config: String,
+    /// Message size in bytes (0 when size-independent, e.g. Barrier).
+    pub m: u64,
+    /// The cost the guideline constrains, in picoseconds.
+    pub observed_ps: u64,
+    /// The bound it had to stay within, in picoseconds.
+    pub bound_ps: u64,
+    /// `(observed − bound) / bound`: how far past the bound we landed.
+    pub rel_slack: f64,
+    /// Human-readable explanation of the failed inequality.
+    pub detail: String,
+}
+
+impl Violation {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        guideline: &str,
+        preset: &str,
+        coll: &str,
+        config: impl Into<String>,
+        m: u64,
+        observed_ps: u64,
+        bound_ps: u64,
+        detail: impl Into<String>,
+    ) -> Self {
+        let rel_slack = (observed_ps as f64 - bound_ps as f64) / (bound_ps.max(1) as f64);
+        Violation {
+            guideline: guideline.to_string(),
+            preset: preset.to_string(),
+            coll: coll.to_string(),
+            config: config.into(),
+            m,
+            observed_ps,
+            bound_ps,
+            rel_slack,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// The outcome of one guideline over one (or, after merging, several)
+/// presets: how many inequalities were checked and which failed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GuidelineReport {
+    pub id: String,
+    pub description: String,
+    pub checks: u64,
+    pub violations: Vec<Violation>,
+}
+
+impl GuidelineReport {
+    pub fn new(id: &str, description: &str) -> Self {
+        GuidelineReport {
+            id: id.to_string(),
+            description: description.to_string(),
+            checks: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Record one checked inequality.
+    pub fn check(&mut self) {
+        self.checks += 1;
+    }
+
+    pub fn violate(&mut self, v: Violation) {
+        self.violations.push(v);
+    }
+
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Fold another run of the same guideline (e.g. on another preset)
+    /// into this report.
+    pub fn merge(&mut self, other: GuidelineReport) {
+        assert_eq!(self.id, other.id, "merging different guidelines");
+        self.checks += other.checks;
+        self.violations.extend(other.violations);
+    }
+}
+
+/// The whole suite's outcome. `total_*` are denormalized so the CI gate
+/// can assert on them without walking the guideline list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerifyReport {
+    pub presets: Vec<String>,
+    pub guidelines: Vec<GuidelineReport>,
+    pub total_checks: u64,
+    pub total_violations: u64,
+}
+
+impl VerifyReport {
+    pub fn new(presets: Vec<String>, guidelines: Vec<GuidelineReport>) -> Self {
+        let total_checks = guidelines.iter().map(|g| g.checks).sum();
+        let total_violations = guidelines.iter().map(|g| g.violations.len() as u64).sum();
+        VerifyReport {
+            presets,
+            guidelines,
+            total_checks,
+            total_violations,
+        }
+    }
+
+    pub fn passed(&self) -> bool {
+        self.total_violations == 0
+    }
+
+    /// All violations across guidelines, for printing.
+    pub fn violations(&self) -> impl Iterator<Item = &Violation> {
+        self.guidelines.iter().flat_map(|g| g.violations.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_and_totals() {
+        let v = Violation::new("g", "p", "bcast", "cfg", 1024, 150, 100, "150 > 100");
+        assert!((v.rel_slack - 0.5).abs() < 1e-12);
+
+        let mut a = GuidelineReport::new("g", "d");
+        a.check();
+        a.check();
+        a.violate(v);
+        let mut b = GuidelineReport::new("g", "d");
+        b.check();
+        a.merge(b);
+        assert_eq!(a.checks, 3);
+        assert!(!a.passed());
+
+        let r = VerifyReport::new(vec!["p".into()], vec![a]);
+        assert_eq!(r.total_checks, 3);
+        assert_eq!(r.total_violations, 1);
+        assert!(!r.passed());
+        assert_eq!(r.violations().count(), 1);
+
+        // JSON round-trip: the CI gate parses this file.
+        let s = serde_json::to_string(&r).unwrap();
+        let back: VerifyReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.total_violations, 1);
+        assert_eq!(back.guidelines[0].violations[0].guideline, "g");
+    }
+}

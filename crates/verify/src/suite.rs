@@ -1,0 +1,174 @@
+//! The full guideline suite: which guidelines run, over which
+//! configurations and sizes, and how per-preset reports merge into the
+//! `results/verify.json` artifact.
+
+use crate::guidelines::{
+    allreduce_composition, analytic_envelope, bcast_composition, bound_soundness,
+    classic_agreement, enumerate_candidates, msg_monotonicity, rank_monotonicity,
+    reduce_vs_allreduce, table_dominance, task_model_accuracy,
+};
+use crate::report::{GuidelineReport, VerifyReport};
+use han_colls::stack::Coll;
+use han_colls::{InterAlg, InterModule, IntraModule, MpiStack, TunedOpenMpi};
+use han_core::{Han, HanConfig};
+use han_machine::{mini, mini3, socketize, MachinePreset};
+use han_tuner::{tune_with_opts, SearchSpace, Strategy, TuneOpts};
+
+/// Suite knobs: sizes, the dominance search space, and tolerances. The
+/// defaults are what `repro verify` and CI run; tests shrink them.
+#[derive(Debug, Clone)]
+pub struct SuiteOpts {
+    /// Message sizes for the monotonicity / composition / model checks.
+    pub sizes: Vec<u64>,
+    /// Search space for the table-dominance and bound-soundness checks
+    /// (every candidate in it gets simulated — keep it small).
+    pub space: SearchSpace,
+    /// Collectives for the monotonicity guidelines.
+    pub colls: Vec<Coll>,
+    /// Collectives tuned and dominated over `space`.
+    pub dominance_colls: Vec<Coll>,
+    /// Relative tolerance for the inequality guidelines.
+    pub tol: f64,
+    /// Relative error band for the task-based cost model.
+    pub model_band: f64,
+    /// Multiplicative envelope for the analytic models.
+    pub envelope: f64,
+}
+
+impl Default for SuiteOpts {
+    fn default() -> Self {
+        SuiteOpts {
+            sizes: vec![4 * 1024, 32 * 1024, 256 * 1024, 1 << 20, 4 << 20],
+            space: SearchSpace {
+                msg_sizes: vec![16 * 1024, 256 * 1024, 2 << 20],
+                seg_sizes: vec![32 * 1024, 256 * 1024],
+                inter: vec![
+                    (InterModule::Libnbc, InterAlg::Binomial),
+                    (InterModule::Adapt, InterAlg::Chain),
+                ],
+                intra: vec![IntraModule::Sm, IntraModule::Solo],
+            },
+            colls: Coll::ALL.to_vec(),
+            dominance_colls: vec![Coll::Bcast, Coll::Allreduce, Coll::Reduce],
+            tol: 0.02,
+            model_band: 0.25,
+            envelope: 64.0,
+        }
+    }
+}
+
+/// The configuration corners every guideline sweeps.
+pub fn corner_configs() -> Vec<HanConfig> {
+    let mut adapt = HanConfig::default()
+        .with_fs(256 * 1024)
+        .with_intra(IntraModule::Solo);
+    adapt.imod = InterModule::Adapt;
+    adapt.ibalg = InterAlg::Chain;
+    adapt.iralg = InterAlg::Chain;
+    adapt.ibs = Some(64 * 1024);
+    adapt.irs = Some(32 * 1024);
+    let mut libnbc = HanConfig::default().with_fs(16 * 1024);
+    libnbc.imod = InterModule::Libnbc;
+    vec![HanConfig::default(), libnbc, adapt]
+}
+
+/// The preset set `repro verify` and `hansim --verify` run by default:
+/// a two-level mini machine, a three-level mini machine, and a
+/// socketized (NUMA-split) variant.
+pub fn standard_presets() -> Vec<MachinePreset> {
+    vec![mini(4, 4), mini3(2, 2, 2), socketize(mini(2, 4), 2, 1.5)]
+}
+
+/// Run the whole guideline catalog on one preset.
+pub fn run_preset(preset: &MachinePreset, opts: &SuiteOpts) -> Vec<GuidelineReport> {
+    let cfgs = corner_configs();
+    let mut out: Vec<GuidelineReport> = Vec::new();
+    let mut add = |r: GuidelineReport| match out.iter_mut().find(|g| g.id == r.id) {
+        Some(g) => g.merge(r),
+        None => out.push(r),
+    };
+
+    // Monotonicity, over the HAN corners and the fixed reference stack.
+    for cfg in &cfgs {
+        let stack = Han::with_config(*cfg);
+        add(msg_monotonicity(
+            preset,
+            &stack,
+            &format!("HAN {cfg}"),
+            &opts.colls,
+            &opts.sizes,
+            opts.tol,
+        ));
+    }
+    let tuned = TunedOpenMpi;
+    add(msg_monotonicity(
+        preset,
+        &tuned,
+        &tuned.name(),
+        &opts.colls,
+        &opts.sizes,
+        opts.tol,
+    ));
+    add(rank_monotonicity(
+        preset,
+        &cfgs[0],
+        &opts.colls,
+        &opts.sizes,
+        opts.tol,
+    ));
+
+    // Composition bounds.
+    add(allreduce_composition(preset, &cfgs, &opts.sizes, opts.tol));
+    add(bcast_composition(preset, &cfgs, &opts.sizes, opts.tol));
+    add(reduce_vs_allreduce(preset, &cfgs, &opts.sizes, opts.tol));
+
+    // Tuned-table dominance + bound soundness, sharing one candidate
+    // enumeration. The table comes from a *pruned* exhaustive sweep so a
+    // pruning bug that discards the optimum surfaces as a dominance
+    // violation here.
+    let tuned = tune_with_opts(
+        preset,
+        &opts.space,
+        &opts.dominance_colls,
+        Strategy::Exhaustive,
+        None,
+        TuneOpts { prune: true },
+    );
+    let cands = enumerate_candidates(preset, &opts.space, &opts.dominance_colls);
+    add(table_dominance(preset, &tuned.table, &cands));
+    add(bound_soundness(preset, &cands));
+
+    // Model-vs-simulation error bands.
+    add(task_model_accuracy(
+        preset,
+        &cfgs,
+        &opts.sizes,
+        opts.model_band,
+    ));
+    add(analytic_envelope(preset, &cfgs, &opts.sizes, opts.envelope));
+
+    // Differential oracle (two-level presets only; reports 0 checks
+    // elsewhere).
+    add(classic_agreement(preset, &cfgs, &opts.sizes));
+
+    out
+}
+
+/// Run the suite over several presets and merge per-guideline.
+pub fn run_suite_with(presets: &[MachinePreset], opts: &SuiteOpts) -> VerifyReport {
+    let mut merged: Vec<GuidelineReport> = Vec::new();
+    for preset in presets {
+        for r in run_preset(preset, opts) {
+            match merged.iter_mut().find(|g| g.id == r.id) {
+                Some(g) => g.merge(r),
+                None => merged.push(r),
+            }
+        }
+    }
+    VerifyReport::new(presets.iter().map(|p| p.name.to_string()).collect(), merged)
+}
+
+/// [`run_suite_with`] with default options — what `repro verify` runs.
+pub fn run_suite(presets: &[MachinePreset]) -> VerifyReport {
+    run_suite_with(presets, &SuiteOpts::default())
+}

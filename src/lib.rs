@@ -34,6 +34,7 @@ pub use han_machine as machine;
 pub use han_mpi as mpi;
 pub use han_sim as sim;
 pub use han_tuner as tuner;
+pub use han_verify as verify;
 
 /// The items most programs need.
 pub mod prelude {

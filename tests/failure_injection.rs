@@ -82,6 +82,93 @@ fn allreduce_correct_under_arrival_imbalance() {
 }
 
 #[test]
+fn reduce_correct_under_arrival_imbalance() {
+    // Rooted reduction under skew: only the root's buffer must hold the
+    // final sum, and it must hold it for every skew pattern.
+    let preset = mini(2, 3);
+    let n = 6;
+    let comm = Comm::world(n);
+    let han = Han::with_config(HanConfig::default().with_fs(512));
+    let mut b = ProgramBuilder::new(n);
+    let bufs = b.alloc_all(1024);
+    let mut cx = han::colls::stack::BuildCtx {
+        b: &mut b,
+        topo: preset.topology,
+        node: preset.node,
+    };
+    han.reduce(
+        &mut cx,
+        &comm,
+        0,
+        &bufs,
+        ReduceOp::Sum,
+        DataType::Int32,
+        &Frontier::empty(n),
+    )
+    .unwrap();
+    let prog = b.build();
+    let mut m = Machine::from_preset(&preset);
+    let expect: Vec<u8> = (0..256)
+        .flat_map(|i| {
+            let s: i32 = (0..n).map(|r| (r * 5 + i) as i32).sum();
+            s.to_le_bytes()
+        })
+        .collect();
+    for seed in [11, 12, 13] {
+        let opts =
+            ExecOpts::with_data(Flavor::OpenMpi.p2p()).with_skew(skewed_starts(n, 800, seed));
+        let bufs2 = bufs.clone();
+        let (_, mem) = execute_seeded(&mut m, &prog, &opts, |mm| {
+            for r in 0..n {
+                let vals: Vec<u8> = (0..256)
+                    .flat_map(|i| ((r * 5 + i) as i32).to_le_bytes())
+                    .collect();
+                mm.write(r, bufs2[r], &vals);
+            }
+        });
+        assert_eq!(mem.read(0, bufs[0]), expect.as_slice(), "seed {seed}");
+    }
+}
+
+#[test]
+fn barrier_waits_for_last_arrival_under_skew() {
+    // A barrier's makespan is lower-bounded by the latest arrival (no rank
+    // leaves before everyone entered) and degrades by at most the skew
+    // plus a small multiple of the balanced cost — delayed ranks reshuffle
+    // rendezvous handshakes on shared links, so the ideal additive bound
+    // picks up protocol-level slack, but never a blowup.
+    let preset = mini(2, 3);
+    let n = 6;
+    let comm = Comm::world(n);
+    let han = Han::with_config(HanConfig::default());
+    let mut b = ProgramBuilder::new(n);
+    let mut cx = han::colls::stack::BuildCtx {
+        b: &mut b,
+        topo: preset.topology,
+        node: preset.node,
+    };
+    han.barrier(&mut cx, &comm, &Frontier::empty(n)).unwrap();
+    let prog = b.build();
+    let mut m = Machine::from_preset(&preset);
+    let opts = ExecOpts::timing(Flavor::OpenMpi.p2p());
+    let balanced = execute(&mut m, &prog, &opts).makespan;
+    for seed in [21, 22, 23] {
+        let skews = skewed_starts(n, 1_500, seed);
+        let latest = *skews.iter().max().unwrap();
+        let skewed = execute(&mut m, &prog, &opts.clone().with_skew(skews)).makespan;
+        assert!(
+            skewed >= latest,
+            "seed {seed}: barrier finished at {skewed} before the last arrival {latest}"
+        );
+        let bound = latest + Time::from_ps(10 * balanced.as_ps());
+        assert!(
+            skewed <= bound,
+            "seed {seed}: skewed barrier {skewed} exceeds skew {latest} + 10x balanced {balanced}"
+        );
+    }
+}
+
+#[test]
 fn skew_degrades_cost_boundedly() {
     // Makespan under skew is at most (balanced makespan + max skew): the
     // DAG only ever waits for late ranks, it never livelocks.
