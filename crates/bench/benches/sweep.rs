@@ -6,10 +6,10 @@
 //! with the headline speedups is written to `BENCH_sweep.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use han_colls::stack::{build_coll, Coll};
+use han_colls::stack::{build_coll, time_coll, Coll};
 use han_colls::{MpiStack, TemplateStore};
 use han_core::{Han, HanConfig};
-use han_machine::{mini, Machine};
+use han_machine::{dgx_like, mini, Machine, RailPolicy};
 use han_mpi::{execute, ExecMode, ExecOpts, Program};
 use han_tuner::{tune_with_cache, tune_with_opts, CostCache, SearchSpace, Strategy, TuneOpts};
 use std::hint::black_box;
@@ -198,6 +198,31 @@ fn write_summary() {
         )
     });
 
+    // Heterogeneous machines: wall-clock of the same exhaustive sweep on
+    // the DGX-like preset (per-level overrides + 4 striped NIC rails),
+    // and the simulated speedup striping buys a bandwidth-bound bcast.
+    let dgx = dgx_like(2, 4);
+    let hetero_sweep = best_secs(3, || {
+        tune_with_opts(
+            &dgx,
+            &space,
+            &colls,
+            Strategy::Exhaustive,
+            None,
+            TuneOpts { prune: true },
+        )
+    });
+    let t_striped = time_coll(&han, &dgx, Coll::Bcast, 4 << 20, 0).expect("striped bcast");
+    let t_single = time_coll(
+        &han,
+        &dgx.with_rails(1, RailPolicy::Stripe),
+        Coll::Bcast,
+        4 << 20,
+        0,
+    )
+    .expect("single-rail bcast");
+    let rail_striping_speedup = t_single.as_ps() as f64 / t_striped.as_ps().max(1) as f64;
+
     let rows: Vec<(String, f64)> = vec![
         ("exec_full_4M_s".into(), full),
         ("exec_timing_only_4M_s".into(), timing),
@@ -210,6 +235,8 @@ fn write_summary() {
         ("template_reuse_speedup".into(), build_cold / build_warm),
         ("events_per_sec".into(), events_per_sec),
         ("prune_ratio".into(), prune_ratio),
+        ("hetero_sweep_s".into(), hetero_sweep),
+        ("rail_striping_speedup".into(), rail_striping_speedup),
     ];
     // cargo runs benches with cwd = the package dir; anchor the report at
     // the workspace root where the other results live.
@@ -221,12 +248,15 @@ fn write_summary() {
             } else {
                 println!(
                     "[sweep] exec speedup {:.2}x, warm-cache speedup {:.2}x, template \
-                     speedup {:.2}x, {:.2}M events/s, prune ratio {:.2} -> BENCH_sweep.json",
+                     speedup {:.2}x, {:.2}M events/s, prune ratio {:.2}, hetero sweep \
+                     {:.3}s, rail striping {:.2}x -> BENCH_sweep.json",
                     full / timing,
                     cold / warm,
                     build_cold / build_warm,
                     events_per_sec / 1e6,
-                    prune_ratio
+                    prune_ratio,
+                    hetero_sweep,
+                    rail_striping_speedup
                 );
             }
         }

@@ -6,10 +6,11 @@
 //!
 //! `<what>` ∈ `fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //! fig14 fig15 table3 ablation-pipeline ablation-irib ablation-models
-//! verify all`.
+//! verify hetero all`.
 //!
 //! `verify` runs the `han-verify` performance-guideline catalog over the
-//! mini / mini3 / socketized presets and writes `results/verify.json`;
+//! mini / mini3 / socketized presets plus the heterogeneous multi-rail
+//! `dgx_like` / `gpu_hier` machines and writes `results/verify.json`;
 //! any guideline violation (or any unexpected `Unsupported` skip in a
 //! sweep) makes the process exit with code 3, which CI gates on.
 //!
@@ -33,7 +34,12 @@
 //! forms of the machines — `[nodes, sockets, cores]` with a cross-socket
 //! bus derating — instead of the paper's flat two-level shapes. The
 //! hierarchy actually in use is reported up front via
-//! [`han_machine::MachinePreset::level_links`].
+//! [`han_machine::MachinePreset::level_params`].
+//!
+//! `hetero` runs the heterogeneous depth-scaling experiment (HiCCL-style
+//! growing GPU hierarchies plus a multi-rail striping probe) and writes
+//! `results/hetero.json`; non-monotone speedups or a striping speedup
+//! ≤ 1 exit with code 3.
 //!
 //! All timings are **virtual (simulated) seconds**; the goal is shape
 //! fidelity (who wins, by what factor, where the crossovers are), not the
@@ -920,6 +926,100 @@ fn verify(_cfg: &Cfg) {
     }
 }
 
+/// `repro hetero`: the HiCCL-style depth-scaling experiment on
+/// heterogeneous GPU-era machines, plus the multi-rail striping win,
+/// persisted to `results/hetero.json`.
+///
+/// The machine grows as it deepens, HiCCL's hardware shape (node → board
+/// → device → tile): `[4,4]` (16 ranks) → `[4,4,4]` (64) → `[4,4,4,4]`
+/// (256), every added inner level faster than the one containing it (see
+/// [`han_machine::gpu_hier`]). HAN is tuned per machine over a small
+/// exhaustive space; the baseline is the topology-oblivious single-level
+/// reference stack, which sees none of the hierarchy. The hierarchical
+/// margin must grow with depth — a non-monotone depth column trips the
+/// exit-code gate, so CI can run this target the way it runs `verify`.
+fn hetero(_cfg: &Cfg) {
+    use han_machine::{dgx_like, gpu_hier, RailPolicy};
+    println!("## hetero — depth scaling on heterogeneous machines + NIC striping\n");
+    let shapes: [&[usize]; 3] = [&[4, 4], &[4, 4, 4], &[4, 4, 4, 4]];
+    let m: u64 = 4 << 20;
+    let mut space = SearchSpace::standard();
+    space.msg_sizes = vec![m];
+    let colls = [Coll::Bcast, Coll::Allreduce];
+    let flat = TunedOpenMpi;
+
+    let mut rows: Vec<(String, usize, String, u64, u64, f64)> = Vec::new();
+    let mut t = Table::new(&["extents", "coll", "HAN", "flat", "speedup"]);
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); colls.len()];
+    for shape in shapes {
+        let preset = gpu_hier(shape);
+        let tuned = tune_with_opts(
+            &preset,
+            &space,
+            &colls,
+            Strategy::Exhaustive,
+            None,
+            TuneOpts { prune: true },
+        );
+        let han = Han::tuned(Arc::new(tuned.table));
+        for (ci, &coll) in colls.iter().enumerate() {
+            let th = time_coll(&han, &preset, coll, m, 0).expect("HAN");
+            let tf = time_coll(&flat, &preset, coll, m, 0).expect("flat");
+            let speedup = tf.as_ps() as f64 / th.as_ps().max(1) as f64;
+            t.row(vec![
+                format!("{shape:?}"),
+                coll.name().to_string(),
+                us(th),
+                us(tf),
+                format!("{speedup:.2}x"),
+            ]);
+            speedups[ci].push(speedup);
+            rows.push((
+                format!("{shape:?}"),
+                shape.len(),
+                coll.name().to_string(),
+                th.as_ps(),
+                tf.as_ps(),
+                speedup,
+            ));
+        }
+    }
+    println!("{}", t.render());
+
+    // Multi-rail NICs: the same DGX-like machine with its 4 striped rails
+    // collapsed to one. Striping multiplies injection bandwidth, so the
+    // bandwidth-bound broadcast must speed up.
+    let dgx = dgx_like(2, 4);
+    let dgx1 = dgx.with_rails(1, RailPolicy::Stripe);
+    let hc = Han::with_config(HanConfig::default().with_fs(256 * 1024));
+    let t4 = time_coll(&hc, &dgx, Coll::Bcast, m, 0).expect("striped");
+    let t1 = time_coll(&hc, &dgx1, Coll::Bcast, m, 0).expect("single rail");
+    let rail_speedup = t1.as_ps() as f64 / t4.as_ps().max(1) as f64;
+    println!(
+        "rail striping: bcast {} on 1 rail -> {} on {} striped rails ({:.2}x)\n",
+        us(t1),
+        us(t4),
+        dgx.net.rails,
+        rail_speedup
+    );
+
+    save_json("hetero", &(&rows, rail_speedup)).ok();
+    println!("hetero: {} rows -> results/hetero.json", rows.len());
+
+    for (ci, coll) in colls.iter().enumerate() {
+        let s = &speedups[ci];
+        if !s.windows(2).all(|w| w[0] < w[1]) {
+            gate::fail(format!(
+                "{} hierarchical speedup not increasing with depth: {s:?}",
+                coll.name()
+            ));
+        }
+    }
+    if rail_speedup <= 1.0 {
+        gate::fail(format!("rail striping speedup {rail_speedup:.2} <= 1"));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
@@ -981,13 +1081,14 @@ fn main() {
         probe.topology.depth(),
         probe.topology.levels()
     );
-    for link in probe.level_links() {
+    let lv = probe.level_params();
+    for (k, lp) in lv.iter().enumerate() {
         println!(
             "  level {}: {:<13} {:>7.1} GB/s, {} latency",
-            link.level,
-            link.label,
-            link.bandwidth / 1e9,
-            link.latency
+            k,
+            han_machine::level_label(lv.depth(), k),
+            lp.bandwidth / 1e9,
+            lp.latency
         );
     }
     println!();
@@ -1014,6 +1115,7 @@ fn main() {
         "ablation-irib" => ablation_irib(&cfg),
         "ablation-models" => ablation_models(&cfg),
         "verify" => verify(&cfg),
+        "hetero" => hetero(&cfg),
         "all" => {
             fig2(&cfg);
             fig3(&cfg);
@@ -1032,10 +1134,11 @@ fn main() {
             ablation_irib(&cfg);
             ablation_models(&cfg);
             verify(&cfg);
+            hetero(&cfg);
         }
         other => {
             eprintln!(
-                "unknown target '{other}'; expected fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table3|ablation-*|verify|all"
+                "unknown target '{other}'; expected fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table3|ablation-*|verify|hetero|all"
             );
             std::process::exit(2);
         }

@@ -8,7 +8,9 @@
 //! figure's "lines" are just different `MpiStack` values.
 
 use crate::frontier::Frontier;
-use han_machine::{Flavor, Machine, MachinePreset, NodeParams, Topology};
+use han_machine::{
+    uniform_level_params, Flavor, LevelVec, Machine, MachinePreset, NodeParams, Topology,
+};
 use han_mpi::{execute, BufRange, Comm, DataType, ExecOpts, ProgramBuilder, ReduceOp};
 use han_sim::Time;
 use std::collections::HashMap;
@@ -18,6 +20,41 @@ pub struct BuildCtx<'a> {
     pub b: &'a mut ProgramBuilder,
     pub topo: Topology,
     pub node: NodeParams,
+    /// Per-level link parameters, outermost first. Builders recursing
+    /// through the hierarchy consult the level they are working at (via
+    /// [`NodeParams::at_level`] views); on uniform machines every level
+    /// carries the classic `node`/`net` values, so built programs are
+    /// unchanged.
+    pub levels: LevelVec,
+}
+
+impl<'a> BuildCtx<'a> {
+    /// Context for building over a whole preset machine.
+    pub fn new(b: &'a mut ProgramBuilder, preset: &MachinePreset) -> Self {
+        BuildCtx {
+            b,
+            topo: preset.topology,
+            node: preset.node,
+            levels: preset.level_params(),
+        }
+    }
+
+    /// Context from raw parts with uniform per-level parameters (the
+    /// historical model; tests and custom collectives use this).
+    pub fn uniform(
+        b: &'a mut ProgramBuilder,
+        topo: Topology,
+        node: NodeParams,
+        net: han_machine::NetParams,
+    ) -> Self {
+        let levels = uniform_level_params(&topo, &node, &net);
+        BuildCtx {
+            b,
+            topo,
+            node,
+            levels,
+        }
+    }
 }
 
 /// Collective operation selector (the `t` input of autotuning, Table I).
@@ -252,11 +289,7 @@ pub fn build_coll(
     let comm = Comm::world(n);
     let mut b = ProgramBuilder::new(n);
     let deps = Frontier::empty(n);
-    let mut cx = BuildCtx {
-        b: &mut b,
-        topo: preset.topology,
-        node: preset.node,
-    };
+    let mut cx = BuildCtx::new(&mut b, preset);
     match coll {
         Coll::Bcast => {
             let bufs = cx.b.alloc_all(bytes);

@@ -16,7 +16,7 @@ use crate::bcast::{descend_bcast, inter_bcast};
 use crate::config::HanConfig;
 use han_colls::stack::{sublocals, BuildCtx};
 use han_colls::{Frontier, InterModule, IntraModule, Libnbc, Sm, Solo};
-use han_machine::Topology;
+use han_machine::{LevelParams, LevelVec, Topology};
 use han_mpi::{BufRange, Comm, DataType, OpId, ProgramBuilder, ReduceOp};
 
 /// Result of building a hierarchical allreduce.
@@ -68,20 +68,22 @@ pub(crate) fn flat_reduce(
 }
 
 /// Dispatch an intra-node reduce (to local 0) through the configured
-/// submodule. On a two-level topology this *is* the whole intra phase;
+/// submodule, at the link parameters of one hierarchy level. On a
+/// two-level topology this *is* the whole intra phase;
 /// [`ascend_reduce`] generalizes it to arbitrary depth.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn intra_reduce(
     b: &mut ProgramBuilder,
     cfg: &HanConfig,
     node: &han_machine::NodeParams,
+    lvl: &LevelParams,
     low: &Comm,
     bufs: &[BufRange],
     deps: &Frontier,
     op: ReduceOp,
     dtype: DataType,
 ) -> Frontier {
-    flat_reduce(b, cfg.smod, node, low, bufs, deps, op, dtype)
+    flat_reduce(b, cfg.smod, &node.at_level(lvl), low, bufs, deps, op, dtype)
 }
 
 /// Reduce within a level-`level` group toward its local rank 0, recursing
@@ -96,6 +98,7 @@ pub(crate) fn ascend_reduce(
     cfg: &HanConfig,
     topo: &Topology,
     node: &han_machine::NodeParams,
+    levels: &LevelVec,
     level: usize,
     gc: &Comm,
     bufs: &[BufRange],
@@ -104,11 +107,24 @@ pub(crate) fn ascend_reduce(
     dtype: DataType,
 ) -> Frontier {
     if level + 1 >= topo.depth() {
-        return flat_reduce(b, cfg.smod_at(level), node, gc, bufs, deps, op, dtype);
+        let lnode = node.at_level(levels.get(level));
+        return flat_reduce(b, cfg.smod_at(level), &lnode, gc, bufs, deps, op, dtype);
     }
     let (subs, leaders) = gc.split_level(topo, level);
     if subs.len() == 1 {
-        return ascend_reduce(b, cfg, topo, node, level + 1, gc, bufs, deps, op, dtype);
+        return ascend_reduce(
+            b,
+            cfg,
+            topo,
+            node,
+            levels,
+            level + 1,
+            gc,
+            bufs,
+            deps,
+            op,
+            dtype,
+        );
     }
     let mut out = Frontier::empty(gc.size());
     let glocals = sublocals(gc, &leaders);
@@ -125,6 +141,7 @@ pub(crate) fn ascend_reduce(
             cfg,
             topo,
             node,
+            levels,
             level + 1,
             sc,
             &sub_bufs,
@@ -140,10 +157,11 @@ pub(crate) fn ascend_reduce(
         }
     }
     let leader_bufs: Vec<BufRange> = glocals.iter().map(|&l| bufs[l]).collect();
+    let lnode = node.at_level(levels.get(level));
     let f_lead = flat_reduce(
         b,
         cfg.smod_at(level),
-        node,
+        &lnode,
         &leaders,
         &leader_bufs,
         &ldeps,
@@ -182,12 +200,13 @@ pub fn build_allreduce(
 
     // Segment at datatype granularity: a reduction segment must hold a
     // whole number of elements.
-    let el = dtype.size() as u64;
-    let fs = (cfg.fs / el).max(1) * el;
-    let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(fs)).collect();
-    let u = segs[0].len();
     let node = cx.node;
     let topo = cx.topo;
+    let levels = cx.levels;
+    let el = dtype.size() as u64;
+    let fs = han_machine::coarsen_fs((cfg.fs / el).max(1) * el, &node, &levels);
+    let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(fs)).collect();
+    let u = segs[0].len();
     let nl = up.size();
 
     let mut boundary: Vec<Vec<OpId>> = up_locals.iter().map(|&l| deps.get(l).to_vec()).collect();
@@ -215,7 +234,7 @@ pub fn build_allreduce(
                     sub_deps.set(j, child_chain[l].clone());
                 }
                 let f = ascend_reduce(
-                    cx.b, cfg, &topo, &node, 1, lc, &sub_bufs, &sub_deps, op, dtype,
+                    cx.b, cfg, &topo, &node, &levels, 1, lc, &sub_bufs, &sub_deps, op, dtype,
                 );
                 sr_leader[t][ni] = f.get(0).to_vec();
                 issued_leader[ni].extend_from_slice(f.get(0));
@@ -274,7 +293,9 @@ pub fn build_allreduce(
                 for (j, &l) in locals.iter().enumerate().skip(1) {
                     sub_deps.set(j, child_chain[l].clone());
                 }
-                let f = descend_bcast(cx.b, cfg, &topo, &node, 1, lc, &sub_bufs, &sub_deps);
+                let f = descend_bcast(
+                    cx.b, cfg, &topo, &node, &levels, 1, lc, &sub_bufs, &sub_deps,
+                );
                 for (j, &l) in locals.iter().enumerate() {
                     if j == 0 {
                         issued_leader[ni].extend_from_slice(f.get(0));
@@ -338,11 +359,7 @@ mod tests {
         let comm = Comm::world(n);
         let mut b = ProgramBuilder::new(n);
         let bufs = b.alloc_all(bytes);
-        let mut cx = BuildCtx {
-            b: &mut b,
-            topo: preset.topology,
-            node: preset.node,
-        };
+        let mut cx = BuildCtx::new(&mut b, preset);
         let built = build_allreduce(
             &mut cx,
             cfg,

@@ -12,7 +12,7 @@
 use crate::config::HanConfig;
 use han_colls::stack::{split_with_root, sublocals, BuildCtx};
 use han_colls::{Frontier, InterModule, IntraModule, Libnbc, Sm, Solo};
-use han_machine::Topology;
+use han_machine::{LevelParams, LevelVec, Topology};
 use han_mpi::{BufRange, Comm, OpId, ProgramBuilder};
 
 /// Result of building a hierarchical broadcast.
@@ -59,17 +59,19 @@ pub(crate) fn flat_bcast(
 }
 
 /// Dispatch an intra-node broadcast (root = local 0) through the
-/// configured submodule. On a two-level topology this *is* the whole
-/// intra phase; [`descend_bcast`] generalizes it to arbitrary depth.
+/// configured submodule, at the link parameters of one hierarchy level.
+/// On a two-level topology this *is* the whole intra phase;
+/// [`descend_bcast`] generalizes it to arbitrary depth.
 pub(crate) fn intra_bcast(
     b: &mut ProgramBuilder,
     cfg: &HanConfig,
     node: &han_machine::NodeParams,
+    lvl: &LevelParams,
     low: &Comm,
     bufs: &[BufRange],
     deps: &Frontier,
 ) -> Frontier {
-    flat_bcast(b, cfg.smod, node, low, bufs, deps)
+    flat_bcast(b, cfg.smod, &node.at_level(lvl), low, bufs, deps)
 }
 
 /// Broadcast within a level-`level` group whose local rank 0 holds the
@@ -88,18 +90,20 @@ pub(crate) fn descend_bcast(
     cfg: &HanConfig,
     topo: &Topology,
     node: &han_machine::NodeParams,
+    levels: &LevelVec,
     level: usize,
     gc: &Comm,
     bufs: &[BufRange],
     deps: &Frontier,
 ) -> Frontier {
     if level + 1 >= topo.depth() {
-        return flat_bcast(b, cfg.smod_at(level), node, gc, bufs, deps);
+        let lnode = node.at_level(levels.get(level));
+        return flat_bcast(b, cfg.smod_at(level), &lnode, gc, bufs, deps);
     }
     let (subs, leaders) = gc.split_level(topo, level);
     if subs.len() == 1 {
         // Degenerate level (one subgroup): nothing moves here.
-        return descend_bcast(b, cfg, topo, node, level + 1, gc, bufs, deps);
+        return descend_bcast(b, cfg, topo, node, levels, level + 1, gc, bufs, deps);
     }
     // Cross-subgroup hop among the leaders (gc-local 0 leads subgroup 0,
     // so the leader comm's root is the data holder).
@@ -109,7 +113,15 @@ pub(crate) fn descend_bcast(
     for (i, &l) in glocals.iter().enumerate() {
         ldeps.set(i, deps.get(l).to_vec());
     }
-    let f_lead = flat_bcast(b, cfg.smod_at(level), node, &leaders, &leader_bufs, &ldeps);
+    let lnode = node.at_level(levels.get(level));
+    let f_lead = flat_bcast(
+        b,
+        cfg.smod_at(level),
+        &lnode,
+        &leaders,
+        &leader_bufs,
+        &ldeps,
+    );
     // Recurse into each subgroup from its freshly supplied leader.
     let mut out = Frontier::empty(gc.size());
     for (si, sc) in subs.iter().enumerate() {
@@ -120,7 +132,7 @@ pub(crate) fn descend_bcast(
         for (j, &l) in locals.iter().enumerate().skip(1) {
             sdeps.set(j, deps.get(l).to_vec());
         }
-        let f = descend_bcast(b, cfg, topo, node, level + 1, sc, &sub_bufs, &sdeps);
+        let f = descend_bcast(b, cfg, topo, node, levels, level + 1, sc, &sub_bufs, &sdeps);
         for (j, &l) in locals.iter().enumerate() {
             out.set(l, f.get(j).to_vec());
         }
@@ -152,10 +164,12 @@ pub fn build_bcast(
     let low_locals: Vec<Vec<usize>> = low.iter().map(|lc| sublocals(comm, lc)).collect();
     let up_root = up.local_rank(root_world).expect("root leads its node");
 
-    let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(cfg.fs)).collect();
-    let u = segs[0].len();
     let node = cx.node;
     let topo = cx.topo;
+    let levels = cx.levels;
+    let fs = han_machine::coarsen_fs(cfg.fs, &node, &levels);
+    let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(fs)).collect();
+    let u = segs[0].len();
 
     // Per-leader current boundary (dependency list for the next task) and
     // per-rank intra-broadcast chains.
@@ -196,7 +210,9 @@ pub fn build_bcast(
             for (j, &l) in locals.iter().enumerate().skip(1) {
                 sub_deps.set(j, sb_chain[l].clone());
             }
-            let f_sb = descend_bcast(cx.b, cfg, &topo, &node, 1, lc, &sub_bufs, &sub_deps);
+            let f_sb = descend_bcast(
+                cx.b, cfg, &topo, &node, &levels, 1, lc, &sub_bufs, &sub_deps,
+            );
             let mut node_ops = Vec::new();
             for (j, &l) in locals.iter().enumerate() {
                 sb_chain[l] = f_sb.get(j).to_vec();
@@ -249,11 +265,7 @@ mod tests {
         let comm = Comm::world(n);
         let mut b = ProgramBuilder::new(n);
         let bufs = b.alloc_all(bytes);
-        let mut cx = BuildCtx {
-            b: &mut b,
-            topo: preset.topology,
-            node: preset.node,
-        };
+        let mut cx = BuildCtx::new(&mut b, preset);
         let built = build_bcast(&mut cx, cfg, &comm, root, &bufs, &Frontier::empty(n));
         (b.build(), bufs, built)
     }

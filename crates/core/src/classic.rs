@@ -50,9 +50,11 @@ pub fn build_bcast(
     let low_locals: Vec<Vec<usize>> = low.iter().map(|lc| sublocals(comm, lc)).collect();
     let up_root = up.local_rank(root_world).expect("root leads its node");
 
-    let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(cfg.fs)).collect();
-    let u = segs[0].len();
     let node = cx.node;
+    let lvl = *cx.levels.innermost();
+    let fs = han_machine::coarsen_fs(cfg.fs, &node, &cx.levels);
+    let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(fs)).collect();
+    let u = segs[0].len();
 
     // Per-leader current boundary (dependency list for the next task) and
     // per-rank intra-broadcast chains.
@@ -93,7 +95,7 @@ pub fn build_bcast(
             for (j, &l) in locals.iter().enumerate().skip(1) {
                 sub_deps.set(j, sb_chain[l].clone());
             }
-            let f_sb = intra_bcast(cx.b, cfg, &node, lc, &sub_bufs, &sub_deps);
+            let f_sb = intra_bcast(cx.b, cfg, &node, &lvl, lc, &sub_bufs, &sub_deps);
             let mut node_ops = Vec::new();
             for (j, &l) in locals.iter().enumerate() {
                 sb_chain[l] = f_sb.get(j).to_vec();
@@ -156,11 +158,12 @@ pub fn build_allreduce(
 
     // Segment at datatype granularity: a reduction segment must hold a
     // whole number of elements.
+    let node = cx.node;
+    let lvl = *cx.levels.innermost();
     let el = dtype.size() as u64;
-    let fs = (cfg.fs / el).max(1) * el;
+    let fs = han_machine::coarsen_fs((cfg.fs / el).max(1) * el, &node, &cx.levels);
     let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(fs)).collect();
     let u = segs[0].len();
-    let node = cx.node;
     let nl = up.size();
 
     let mut boundary: Vec<Vec<OpId>> = up_locals.iter().map(|&l| deps.get(l).to_vec()).collect();
@@ -187,7 +190,7 @@ pub fn build_allreduce(
                 for (j, &l) in locals.iter().enumerate().skip(1) {
                     sub_deps.set(j, child_chain[l].clone());
                 }
-                let f = intra_reduce(cx.b, cfg, &node, lc, &sub_bufs, &sub_deps, op, dtype);
+                let f = intra_reduce(cx.b, cfg, &node, &lvl, lc, &sub_bufs, &sub_deps, op, dtype);
                 sr_leader[t][ni] = f.get(0).to_vec();
                 issued_leader[ni].extend_from_slice(f.get(0));
                 for (j, &l) in locals.iter().enumerate().skip(1) {
@@ -245,7 +248,7 @@ pub fn build_allreduce(
                 for (j, &l) in locals.iter().enumerate().skip(1) {
                     sub_deps.set(j, child_chain[l].clone());
                 }
-                let f = intra_bcast(cx.b, cfg, &node, lc, &sub_bufs, &sub_deps);
+                let f = intra_bcast(cx.b, cfg, &node, &lvl, lc, &sub_bufs, &sub_deps);
                 for (j, &l) in locals.iter().enumerate() {
                     if j == 0 {
                         issued_leader[ni].extend_from_slice(f.get(0));
@@ -318,11 +321,12 @@ pub fn build_reduce(
     let up_root = up.local_rank(root_world).expect("root leads its node");
     let nl = up.size();
     let node = cx.node;
+    let lvl = *cx.levels.innermost();
 
     // Segment at datatype granularity: a reduction segment must hold a
     // whole number of elements.
     let el = dtype.size() as u64;
-    let fs = (cfg.fs / el).max(1) * el;
+    let fs = han_machine::coarsen_fs((cfg.fs / el).max(1) * el, &node, &cx.levels);
     let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(fs)).collect();
     let u = segs[0].len();
 
@@ -342,7 +346,7 @@ pub fn build_reduce(
                 for (j, &l) in locals.iter().enumerate().skip(1) {
                     sub_deps.set(j, child_chain[l].clone());
                 }
-                let f = intra_reduce(cx.b, cfg, &node, lc, &sub_bufs, &sub_deps, op, dtype);
+                let f = intra_reduce(cx.b, cfg, &node, &lvl, lc, &sub_bufs, &sub_deps, op, dtype);
                 sr_leader[t][ni] = f.get(0).to_vec();
                 issued_leader[ni].extend_from_slice(f.get(0));
                 for (j, &l) in locals.iter().enumerate().skip(1) {
@@ -467,7 +471,8 @@ pub fn build_allgather(
         for (j, &l) in locals.iter().enumerate().skip(1) {
             sub_deps.set(j, deps.get(l).to_vec());
         }
-        let f = intra_bcast(cx.b, cfg, &cx.node, lc, &sub_bufs, &sub_deps);
+        let lvl = *cx.levels.innermost();
+        let f = intra_bcast(cx.b, cfg, &cx.node, &lvl, lc, &sub_bufs, &sub_deps);
         for (j, &l) in locals.iter().enumerate() {
             let mut v = out.get(l).to_vec();
             v.extend_from_slice(f.get(j));

@@ -75,11 +75,7 @@ pub fn time_composed(preset: &MachinePreset, cfg: &HanConfig, coll: Coll, m: u64
     match coll {
         Coll::Allreduce => {
             let bufs = b.alloc_all(m.max(1));
-            let mut cx = BuildCtx {
-                b: &mut b,
-                topo: preset.topology,
-                node: preset.node,
-            };
+            let mut cx = BuildCtx::new(&mut b, preset);
             composed_allreduce(
                 &mut cx,
                 cfg,
@@ -93,11 +89,7 @@ pub fn time_composed(preset: &MachinePreset, cfg: &HanConfig, coll: Coll, m: u64
         Coll::Bcast => {
             let block = m.div_ceil(n as u64).max(1);
             let bufs = b.alloc_all(block * n as u64);
-            let mut cx = BuildCtx {
-                b: &mut b,
-                topo: preset.topology,
-                node: preset.node,
-            };
+            let mut cx = BuildCtx::new(&mut b, preset);
             composed_bcast(&mut cx, cfg, &comm, 0, &bufs, block, &Frontier::empty(n));
         }
         _ => return None,
@@ -122,11 +114,7 @@ mod tests {
         let cfg = HanConfig::default().with_fs(64);
         let mut b = ProgramBuilder::new(n);
         let bufs = b.alloc_all(256);
-        let mut cx = BuildCtx {
-            b: &mut b,
-            topo: preset.topology,
-            node: preset.node,
-        };
+        let mut cx = BuildCtx::new(&mut b, &preset);
         composed_allreduce(
             &mut cx,
             &cfg,
@@ -172,11 +160,7 @@ mod tests {
         let block = 8u64;
         let mut b = ProgramBuilder::new(n);
         let bufs = b.alloc_all(block * n as u64);
-        let mut cx = BuildCtx {
-            b: &mut b,
-            topo: preset.topology,
-            node: preset.node,
-        };
+        let mut cx = BuildCtx::new(&mut b, &preset);
         composed_bcast(&mut cx, &cfg, &comm, 0, &bufs, block, &Frontier::empty(n));
         let prog = b.build();
         let mut m = Machine::from_preset(&preset);

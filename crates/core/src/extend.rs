@@ -43,11 +43,12 @@ pub fn build_reduce(
 
     // Segment at datatype granularity: a reduction segment must hold a
     // whole number of elements.
+    let topo = cx.topo;
+    let levels = cx.levels;
     let el = dtype.size() as u64;
-    let fs = (cfg.fs / el).max(1) * el;
+    let fs = han_machine::coarsen_fs((cfg.fs / el).max(1) * el, &node, &levels);
     let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(fs)).collect();
     let u = segs[0].len();
-    let topo = cx.topo;
 
     let mut boundary: Vec<Vec<OpId>> = up_locals.iter().map(|&l| deps.get(l).to_vec()).collect();
     let mut child_chain: Vec<Vec<OpId>> = (0..n).map(|l| deps.get(l).to_vec()).collect();
@@ -66,7 +67,7 @@ pub fn build_reduce(
                     sub_deps.set(j, child_chain[l].clone());
                 }
                 let f = ascend_reduce(
-                    cx.b, cfg, &topo, &node, 1, lc, &sub_bufs, &sub_deps, op, dtype,
+                    cx.b, cfg, &topo, &node, &levels, 1, lc, &sub_bufs, &sub_deps, op, dtype,
                 );
                 sr_leader[t][ni] = f.get(0).to_vec();
                 issued_leader[ni].extend_from_slice(f.get(0));
@@ -532,7 +533,10 @@ pub fn build_allgather(
             sub_deps.set(j, deps.get(l).to_vec());
         }
         let topo = cx.topo;
-        let f = descend_bcast(cx.b, cfg, &topo, &cx.node, 1, lc, &sub_bufs, &sub_deps);
+        let levels = cx.levels;
+        let f = descend_bcast(
+            cx.b, cfg, &topo, &cx.node, &levels, 1, lc, &sub_bufs, &sub_deps,
+        );
         for (j, &l) in locals.iter().enumerate() {
             let mut v = out.get(l).to_vec();
             v.extend_from_slice(f.get(j));
@@ -557,11 +561,7 @@ mod tests {
         let comm = Comm::world(n);
         let mut b = ProgramBuilder::new(n);
         let bufs = b.alloc_all(128);
-        let mut cx = BuildCtx {
-            b: &mut b,
-            topo: preset.topology,
-            node: preset.node,
-        };
+        let mut cx = BuildCtx::new(&mut b, &preset);
         build_reduce(
             &mut cx,
             &cfg,
@@ -606,11 +606,7 @@ mod tests {
         let mut b = ProgramBuilder::new(n);
         let src: Vec<BufRange> = (0..n).map(|r| b.alloc(r, 4)).collect();
         let dst = b.alloc(root, 24);
-        let mut cx = BuildCtx {
-            b: &mut b,
-            topo: preset.topology,
-            node: preset.node,
-        };
+        let mut cx = BuildCtx::new(&mut b, &preset);
         build_gather(
             &mut cx,
             &HanConfig::default(),
@@ -646,11 +642,7 @@ mod tests {
         let mut b = ProgramBuilder::new(n);
         let src = b.alloc(root, 24);
         let dst: Vec<BufRange> = (0..n).map(|r| b.alloc(r, 4)).collect();
-        let mut cx = BuildCtx {
-            b: &mut b,
-            topo: preset.topology,
-            node: preset.node,
-        };
+        let mut cx = BuildCtx::new(&mut b, &preset);
         build_scatter(
             &mut cx,
             &HanConfig::default(),
@@ -685,11 +677,7 @@ mod tests {
         let n = 9;
         let comm = Comm::world(n);
         let mut b = ProgramBuilder::new(n);
-        let mut cx = BuildCtx {
-            b: &mut b,
-            topo: preset.topology,
-            node: preset.node,
-        };
+        let mut cx = BuildCtx::new(&mut b, &preset);
         let f = build_barrier(&mut cx, &comm, &Frontier::empty(n));
         let exits: Vec<OpId> = (0..n).map(|l| f.get(l)[0]).collect();
         let prog = b.build();
@@ -737,11 +725,7 @@ mod tests {
         let comm = Comm::world(n);
         let mut b = ProgramBuilder::new(n);
         let bufs = b.alloc_all(block * n as u64);
-        let mut cx = BuildCtx {
-            b: &mut b,
-            topo: preset.topology,
-            node: preset.node,
-        };
+        let mut cx = BuildCtx::new(&mut b, &preset);
         build_allgather(
             &mut cx,
             &HanConfig::default(),

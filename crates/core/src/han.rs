@@ -200,11 +200,14 @@ impl MpiStack for Han {
         h.write_u64(coll as u64);
         h.write_u64(root as u64);
         let node = &preset.node;
-        // Remainder (last-segment) size for segment width `fs`.
+        // Remainder (last-segment) size for segment width `fs`. The
+        // builders coarsen `fs` on launch-charging (GPU-like) levels, so
+        // the key must pin the *effective* segmentation.
+        let lv = preset.level_params();
         let rem = |fs: u64| bytes - (bytes.div_ceil(fs) - 1) * fs;
         match coll {
             Coll::Bcast => {
-                let fs = cfg.fs.max(1);
+                let fs = han_machine::coarsen_fs(cfg.fs.max(1), node, &lv);
                 let rem = rem(fs);
                 h.write_u64(bytes.div_ceil(fs));
                 h.write_u64(node.sm_fragments(rem));
@@ -215,7 +218,7 @@ impl MpiStack for Han {
             Coll::Allreduce | Coll::Reduce => {
                 // The builders quantize `fs` to whole elements.
                 let el = DataType::Float32.size() as u64;
-                let fs = (cfg.fs / el).max(1) * el;
+                let fs = han_machine::coarsen_fs((cfg.fs / el).max(1) * el, node, &lv);
                 let rem = rem(fs);
                 h.write_u64(bytes.div_ceil(fs));
                 h.write_u64(node.sm_fragments(rem));

@@ -146,11 +146,8 @@ pub fn task_program(
     let n = preset.topology.world_size();
     let comm = Comm::world(n);
     let mut b = ProgramBuilder::new(n);
-    let mut cx = BuildCtx {
-        b: &mut b,
-        topo: preset.topology,
-        node: preset.node,
-    };
+    let mut cx = BuildCtx::new(&mut b, preset);
+    let levels = cx.levels;
     let (low, up) = split_with_root(&comm, &cx.topo, root_world);
     let up_locals = sublocals(&comm, &up);
     let low_locals: Vec<Vec<usize>> = low.iter().map(|lc| sublocals(&comm, lc)).collect();
@@ -180,6 +177,7 @@ pub fn task_program(
                 cfg,
                 &preset.topology,
                 &node,
+                &levels,
                 1,
                 lc,
                 &sub_bufs,
@@ -228,6 +226,7 @@ pub fn task_program(
                 cfg,
                 &preset.topology,
                 &node,
+                &levels,
                 1,
                 lc,
                 &sub_bufs,

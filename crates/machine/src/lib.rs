@@ -34,9 +34,9 @@ pub mod topology;
 
 pub use flavor::{Flavor, P2pParams};
 pub use machine::Machine;
-pub use params::{NetParams, NodeParams};
+pub use params::{coarsen_fs, LevelParams, LevelVec, NetParams, NodeParams, RailPolicy};
 pub use presets::{
-    mini, mini3, shaheen2, shaheen2_ppn, shaheen2_sockets, socketize, stampede2, stampede2_ppn,
-    LevelLink, MachinePreset,
+    dgx_like, gpu_hier, level_label, mini, mini3, shaheen2, shaheen2_ppn, shaheen2_sockets,
+    socketize, stampede2, stampede2_ppn, uniform_level_params, MachinePreset, NO_OVERRIDES,
 };
 pub use topology::{Topology, MAX_LEVELS};

@@ -6,6 +6,7 @@
 //! the calibration notes); nothing downstream depends on their absolute
 //! magnitudes.
 
+use crate::topology::MAX_LEVELS;
 use han_sim::Time;
 use serde::{Deserialize, Error, Serialize, Value};
 
@@ -98,10 +99,25 @@ impl Deserialize for NodeParams {
     }
 }
 
+/// How a multi-rail NIC assigns messages to its rails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RailPolicy {
+    /// Each message rides one rail, chosen round-robin by message id.
+    /// Distinct concurrent messages use distinct rails; a single message
+    /// never exceeds one rail's bandwidth.
+    #[default]
+    RoundRobin,
+    /// Each message is split evenly across all rails (HiCCL-style
+    /// striping), so even a single large transfer sees the aggregate
+    /// bandwidth.
+    Stripe,
+}
+
 /// Network parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct NetParams {
-    /// Per-node injection bandwidth, bytes/s, *per direction* (full duplex).
+    /// Injection bandwidth *per rail*, bytes/s, *per direction* (full
+    /// duplex). A node's aggregate injection bandwidth is `nic_bw * rails`.
     pub nic_bw: f64,
     /// One-way wire latency between any two nodes.
     pub latency: Time,
@@ -112,6 +128,192 @@ pub struct NetParams {
     /// Optional aggregate network-core bandwidth, bytes/s, shared by all
     /// concurrent inter-node transfers. `None` = non-blocking fabric.
     pub core_bw: Option<f64>,
+    /// Independent NIC rails per node (tx/rx resource pairs). 1 models the
+    /// classic single-NIC node and is free: resource layout, names and
+    /// virtual times are unchanged from the pre-multi-rail model.
+    pub rails: usize,
+    /// How messages map onto rails; irrelevant when `rails == 1`.
+    pub rail_policy: RailPolicy,
+}
+
+// Hand-written serde keeps the historical 4-field JSON form for
+// single-rail networks, so every existing preset fingerprint (and the
+// persisted cost caches and tuned tables keyed by them) survives the
+// multi-rail extension.
+impl Serialize for NetParams {
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            ("nic_bw".to_string(), self.nic_bw.to_value()),
+            ("latency".to_string(), self.latency.to_value()),
+            ("dma_bus_factor".to_string(), self.dma_bus_factor.to_value()),
+            ("core_bw".to_string(), self.core_bw.to_value()),
+        ];
+        if self.rails != 1 {
+            map.push(("rails".to_string(), self.rails.to_value()));
+            map.push(("rail_policy".to_string(), self.rail_policy.to_value()));
+        }
+        Value::Map(map)
+    }
+}
+
+impl Deserialize for NetParams {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let field = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| Error::custom(format!("missing field {key}")))
+        };
+        Ok(NetParams {
+            nic_bw: f64::from_value(field("nic_bw")?)?,
+            latency: Time::from_value(field("latency")?)?,
+            dma_bus_factor: f64::from_value(field("dma_bus_factor")?)?,
+            core_bw: match v.get("core_bw") {
+                Some(x) => Option::<f64>::from_value(x)?,
+                None => None,
+            },
+            rails: match v.get("rails") {
+                Some(x) => usize::from_value(x)?,
+                None => 1,
+            },
+            rail_policy: match v.get("rail_policy") {
+                Some(x) => RailPolicy::from_value(x)?,
+                None => RailPolicy::RoundRobin,
+            },
+        })
+    }
+}
+
+/// Link parameters of one hierarchy level: the physics of moving (and
+/// combining) bytes between peer groups of that level. Level 0 is the
+/// network; deeper levels are intra-node interconnects (memory bus, QPI,
+/// NVLink, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelParams {
+    /// Bytes/s between two endpoints of this level.
+    pub bandwidth: f64,
+    /// Latency for a synchronization/flag round (or wire hop) at this
+    /// level.
+    pub latency: Time,
+    /// Scalar (non-vectorized) reduction rate for combines performed at
+    /// this level, bytes/s.
+    pub reduce_rate: f64,
+    /// Vectorized reduction rate for combines at this level, bytes/s.
+    /// GPU-like levels set this much higher than `reduce_rate`.
+    pub reduce_rate_avx: f64,
+    /// Fixed launch/injection overhead charged once per data-movement or
+    /// reduction operation at this level (kernel-launch cost on GPU-like
+    /// levels). Zero for classic CPU levels.
+    pub launch: Time,
+}
+
+impl LevelParams {
+    /// Link occupancy for moving `bytes` at this level's bandwidth.
+    #[inline]
+    pub fn xfer_time(&self, bytes: u64) -> Time {
+        Time::for_bytes(bytes, self.bandwidth)
+    }
+
+    /// Reduction compute time over `bytes` at this level's rates.
+    #[inline]
+    pub fn reduce_time(&self, bytes: u64, vectorized: bool) -> Time {
+        let rate = if vectorized {
+            self.reduce_rate_avx
+        } else {
+            self.reduce_rate
+        };
+        Time::for_bytes(bytes, rate)
+    }
+}
+
+/// Per-level link parameters for a whole machine, outermost first.
+/// `Copy` and fixed-size so presets and build contexts can pass it by
+/// value exactly like [`NodeParams`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelVec {
+    params: [LevelParams; MAX_LEVELS],
+    depth: usize,
+}
+
+impl LevelVec {
+    /// Build from an ordered slice (outermost first). Panics on an empty
+    /// slice or one deeper than [`MAX_LEVELS`].
+    pub fn from_slice(levels: &[LevelParams]) -> Self {
+        assert!(
+            !levels.is_empty() && levels.len() <= MAX_LEVELS,
+            "level params need 1..={MAX_LEVELS} entries, got {}",
+            levels.len()
+        );
+        let mut params = [levels[0]; MAX_LEVELS];
+        params[..levels.len()].copy_from_slice(levels);
+        LevelVec {
+            params,
+            depth: levels.len(),
+        }
+    }
+
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Parameters of level `k` (0 = outermost).
+    #[inline]
+    pub fn get(&self, k: usize) -> &LevelParams {
+        debug_assert!(k < self.depth, "level {k} out of range");
+        &self.params[k]
+    }
+
+    /// Mutable parameters of level `k` (0 = outermost).
+    #[inline]
+    pub fn get_mut(&mut self, k: usize) -> &mut LevelParams {
+        debug_assert!(k < self.depth, "level {k} out of range");
+        &mut self.params[k]
+    }
+
+    /// The innermost (fastest, shared-memory) level.
+    #[inline]
+    pub fn innermost(&self) -> &LevelParams {
+        &self.params[self.depth - 1]
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &LevelParams> {
+        self.params[..self.depth].iter()
+    }
+}
+
+/// Launch-aware segment coarsening: the effective HAN segment width on a
+/// machine whose inner levels charge a per-op launch overhead.
+///
+/// Fine segmentation is what makes the task pipeline overlap, but every
+/// extra segment costs one `launch` on each consumer that copies or
+/// reduces it — on GPU-like levels (kernel launches of microseconds) a
+/// finely-segmented broadcast pays more in launches than it gains in
+/// overlap, and loses to coarse-grained compositions. The builders
+/// therefore widen the configured `fs` to the smallest power-of-two
+/// multiple whose per-segment copy time amortizes the worst inner-level
+/// launch to at most 1/8 of the segment, trading pipeline depth for
+/// launch amortization.
+///
+/// Level 0 is excluded: wire transfers never pay a launch (only compute
+/// ops do, and those always join ranks within one node). On uniform
+/// machines every launch is zero and `fs` is returned unchanged, so
+/// historical programs stay bit-identical.
+pub fn coarsen_fs(fs: u64, node: &NodeParams, levels: &LevelVec) -> u64 {
+    const AMORTIZE: u64 = 8;
+    let launch = levels
+        .iter()
+        .skip(1)
+        .map(|lp| lp.launch)
+        .max()
+        .unwrap_or(Time::ZERO);
+    if launch == Time::ZERO {
+        return fs;
+    }
+    let target = launch * AMORTIZE;
+    let mut f = fs.max(1);
+    while node.copy_time(f) < target && f < (1 << 40) {
+        f *= 2;
+    }
+    f
 }
 
 impl NodeParams {
@@ -154,6 +356,20 @@ impl NodeParams {
     #[inline]
     pub fn sm_fragments(&self, bytes: u64) -> u64 {
         bytes.div_ceil(self.sm_chunk).max(1)
+    }
+
+    /// View of these node parameters as seen by a builder recursing at one
+    /// hierarchy level: the synchronization latency becomes that level's
+    /// latency (everything else — copy rate, SM fragmenting, SOLO setup —
+    /// is a property of the rank's CPU, not of the link). On a uniform
+    /// machine every inner level carries `flag_latency`, so this view is
+    /// bitwise-identical to `self` and generated programs do not change.
+    #[inline]
+    pub fn at_level(&self, lvl: &LevelParams) -> NodeParams {
+        NodeParams {
+            flag_latency: lvl.latency,
+            ..*self
+        }
     }
 }
 
@@ -214,6 +430,8 @@ mod tests {
             latency: Time::from_us(1),
             dma_bus_factor: 1.0,
             core_bw: None,
+            rails: 1,
+            rail_policy: RailPolicy::RoundRobin,
         };
         let n = node();
         assert_eq!(net.wire_time(10_000_000_000), Time::from_secs_f64(1.0));
@@ -232,6 +450,101 @@ mod tests {
         );
         let back: NodeParams = serde_json::from_str(&json).expect("parse");
         assert_eq!(back.xsocket_bus_factor, 1.0);
+    }
+
+    #[test]
+    fn single_rail_net_keeps_historical_json_form() {
+        let net = NetParams {
+            nic_bw: 10e9,
+            latency: Time::from_us(1),
+            dma_bus_factor: 1.0,
+            core_bw: None,
+            rails: 1,
+            rail_policy: RailPolicy::RoundRobin,
+        };
+        let json = serde_json::to_string(&net).expect("serialize");
+        assert_eq!(
+            json,
+            r#"{"nic_bw":10000000000.0,"latency":1000000,"dma_bus_factor":1.0,"core_bw":null}"#
+        );
+        let back: NetParams = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.rails, 1);
+        assert_eq!(back.rail_policy, RailPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn multi_rail_net_roundtrips() {
+        let mut net = NetParams {
+            nic_bw: 25e9,
+            latency: Time::from_ns(1_500),
+            dma_bus_factor: 1.0,
+            core_bw: None,
+            rails: 4,
+            rail_policy: RailPolicy::Stripe,
+        };
+        let json = serde_json::to_string(&net).expect("serialize");
+        assert!(json.contains("\"rails\":4"), "{json}");
+        let back: NetParams = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.rails, 4);
+        assert_eq!(back.rail_policy, RailPolicy::Stripe);
+        net.rail_policy = RailPolicy::RoundRobin;
+        let back: NetParams = serde_json::from_str(&serde_json::to_string(&net).unwrap()).unwrap();
+        assert_eq!(back.rail_policy, RailPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn level_params_times() {
+        let lvl = LevelParams {
+            bandwidth: 300e9,
+            latency: Time::from_ns(700),
+            reduce_rate: 50e9,
+            reduce_rate_avx: 150e9,
+            launch: Time::from_us(5),
+        };
+        assert_eq!(lvl.xfer_time(300_000_000_000), Time::from_secs_f64(1.0));
+        assert!(lvl.reduce_time(1 << 20, true) < lvl.reduce_time(1 << 20, false));
+    }
+
+    #[test]
+    fn level_vec_indexing() {
+        let a = LevelParams {
+            bandwidth: 10e9,
+            latency: Time::from_us(1),
+            reduce_rate: 3e9,
+            reduce_rate_avx: 12e9,
+            launch: Time::ZERO,
+        };
+        let mut b = a;
+        b.bandwidth = 60e9;
+        let lv = LevelVec::from_slice(&[a, b]);
+        assert_eq!(lv.depth(), 2);
+        assert_eq!(lv.get(0).bandwidth, 10e9);
+        assert_eq!(lv.get(1).bandwidth, 60e9);
+        assert_eq!(lv.innermost().bandwidth, 60e9);
+        assert_eq!(lv.iter().count(), 2);
+    }
+
+    #[test]
+    fn at_level_changes_only_flag_latency() {
+        let n = node();
+        let lvl = LevelParams {
+            bandwidth: 60e9,
+            latency: Time::from_ns(999),
+            reduce_rate: 1e9,
+            reduce_rate_avx: 2e9,
+            launch: Time::from_us(9),
+        };
+        let v = n.at_level(&lvl);
+        assert_eq!(v.flag_latency, Time::from_ns(999));
+        assert_eq!(v.copy_rate, n.copy_rate);
+        assert_eq!(v.sm_chunk, n.sm_chunk);
+        assert_eq!(v.solo_setup, n.solo_setup);
+        // A level carrying the node's own flag latency is a no-op view.
+        let mut same = lvl;
+        same.latency = n.flag_latency;
+        let json_a = serde_json::to_string(&n.at_level(&same)).unwrap();
+        let json_b = serde_json::to_string(&n).unwrap();
+        assert_eq!(json_a, json_b);
     }
 
     #[test]

@@ -18,8 +18,9 @@
 
 use serde::{Deserialize, Error, Serialize, Value};
 
-/// Maximum supported hierarchy depth (nodes, sockets, NUMA, cores).
-pub const MAX_LEVELS: usize = 4;
+/// Maximum supported hierarchy depth (e.g. racks, nodes, boards, sockets,
+/// NUMA, GPUs, tiles, cores).
+pub const MAX_LEVELS: usize = 8;
 
 /// Where a world rank lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -156,6 +157,21 @@ impl Topology {
     #[inline]
     pub fn same_node(&self, a: usize, b: usize) -> bool {
         self.node_of(a) == self.node_of(b)
+    }
+
+    /// The hierarchy level whose link two ranks communicate over: the
+    /// outermost (smallest-index) level at which they sit in *different*
+    /// groups. Ranks on different nodes link at level 0; ranks sharing the
+    /// innermost domain (including a rank with itself) link at the
+    /// innermost level `depth - 1`.
+    #[inline]
+    pub fn link_level(&self, a: usize, b: usize) -> usize {
+        for k in 0..self.depth - 1 {
+            if self.group_of(a, k) != self.group_of(b, k) {
+                return k;
+            }
+        }
+        self.depth - 1
     }
 
     /// World ranks living on `node`, in local order.
@@ -309,7 +325,29 @@ mod tests {
     #[test]
     #[should_panic]
     fn too_many_levels_rejected() {
-        Topology::from_levels(&[2, 2, 2, 2, 2]);
+        Topology::from_levels(&[2; MAX_LEVELS + 1]);
+    }
+
+    #[test]
+    fn eight_levels_supported() {
+        let t = Topology::from_levels(&[2; 8]);
+        assert_eq!(t.depth(), 8);
+        assert_eq!(t.world_size(), 256);
+        assert_eq!(t.ppn(), 128);
+    }
+
+    #[test]
+    fn link_level_picks_outermost_split() {
+        // 2 nodes × 2 sockets × 3 cores.
+        let t = Topology::from_levels(&[2, 2, 3]);
+        assert_eq!(t.link_level(0, 6), 0, "different nodes");
+        assert_eq!(t.link_level(2, 3), 1, "same node, different sockets");
+        assert_eq!(t.link_level(0, 2), 2, "same socket");
+        assert_eq!(t.link_level(5, 5), 2, "a rank with itself is innermost");
+        // Two-level: inter-node = 0, intra-node = 1.
+        let flat = Topology::new(2, 4);
+        assert_eq!(flat.link_level(0, 4), 0);
+        assert_eq!(flat.link_level(0, 3), 1);
     }
 
     #[test]

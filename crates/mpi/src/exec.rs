@@ -32,7 +32,7 @@
 
 use crate::buffer::Memory;
 use crate::program::{MsgId, OpId, OpKind, Program};
-use han_machine::{Machine, P2pParams};
+use han_machine::{Machine, P2pParams, RailPolicy};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use han_sim::{EngineStats, EventQueue, Time};
@@ -372,12 +372,64 @@ impl<'a> Exec<'a> {
         self.m.topo.same_node(meta.src as usize, meta.dst as usize)
     }
 
-    /// Do two ranks live in different shared-memory domains (sockets)?
-    /// Always false on two-level topologies, where the domain is the node —
-    /// deeper hierarchies pay `xsocket_bus_factor` on such transfers.
+    /// The hierarchy level whose link two ranks communicate over. On a
+    /// uniform machine the level's parameters carry exactly the values the
+    /// single `NodeParams`/`NetParams` pair implies, so level-indexed
+    /// costing is bit-identical to the historical model.
     #[inline]
-    fn cross_domain(&self, a: u32, b: u32) -> bool {
-        self.m.topo.sm_domain_of(a as usize) != self.m.topo.sm_domain_of(b as usize)
+    fn link_level(&self, a: u32, b: u32) -> usize {
+        self.m.topo.link_level(a as usize, b as usize)
+    }
+
+    /// Latency of an intra-node synchronization flag between two ranks:
+    /// the latency of the level linking them.
+    #[inline]
+    fn flag_latency(&self, a: u32, b: u32) -> han_sim::Time {
+        self.m.levels.get(self.link_level(a, b)).latency
+    }
+
+    /// NIC occupancy: acquire the source/destination rails for `bytes` of
+    /// `msg` at node `node`. Returns (earliest rail start, latest rail
+    /// end). With one rail this is exactly the historical single-NIC
+    /// acquisition; round-robin keeps whole messages on one rail chosen by
+    /// message id, striping splits the payload evenly across all rails.
+    fn acquire_rails(
+        &mut self,
+        node: usize,
+        t: Time,
+        bytes: u64,
+        msg: MsgId,
+        tx: bool,
+    ) -> (Time, Time) {
+        let rails = self.m.net.rails;
+        let bw = self.m.levels.get(0).bandwidth;
+        if rails == 1 || self.m.net.rail_policy == RailPolicy::RoundRobin {
+            let rail = msg.0 as usize % rails;
+            let id = if tx {
+                self.m.nic_tx_rail(node, rail)
+            } else {
+                self.m.nic_rx_rail(node, rail)
+            };
+            return self.m.acquire(id, t, Time::for_bytes(bytes, bw));
+        }
+        // Stripe: even byte split, first `bytes % rails` rails carry one
+        // extra byte.
+        let base = bytes / rails as u64;
+        let rem = bytes % rails as u64;
+        let mut s_min: Option<Time> = None;
+        let mut e_max = Time::ZERO;
+        for r in 0..rails {
+            let chunk = base + u64::from((r as u64) < rem);
+            let id = if tx {
+                self.m.nic_tx_rail(node, r)
+            } else {
+                self.m.nic_rx_rail(node, r)
+            };
+            let (s, e) = self.m.acquire(id, t, Time::for_bytes(chunk, bw));
+            s_min = Some(s_min.map_or(s, |m| m.min(s)));
+            e_max = e_max.max(e);
+        }
+        (s_min.unwrap(), e_max)
     }
 
     fn on_ready(&mut self, t: Time, op: OpId) {
@@ -393,20 +445,25 @@ impl<'a> Exec<'a> {
                 self.q.push(e, Ev::Finish(op));
             }
             OpKind::Copy { bytes, .. } | OpKind::CrossCopy { bytes, .. } => {
-                let mut cross = false;
+                // Local copies use the innermost link; cross-rank copies
+                // the link level joining the two ranks. On uniform
+                // machines both carry exactly the old bus/cross-socket
+                // rates; heterogeneous levels add a launch overhead and
+                // their own bandwidth.
+                let mut lvl = self.m.topo.depth() - 1;
                 if let OpKind::CrossCopy { from, .. } = o.kind {
                     debug_assert!(
                         self.m.topo.same_node(from as usize, rank),
                         "CrossCopy across nodes: {from} -> {rank}"
                     );
-                    cross = self.cross_domain(from, o.rank);
+                    lvl = self.link_level(from, o.rank);
                 }
+                let lp = *self.m.levels.get(lvl);
                 let cpu = self.m.cpu(rank);
                 let bus = self.m.bus(node);
-                let cdur = self.m.node.copy_time(bytes);
+                let cdur = self.m.node.copy_time(bytes) + lp.launch;
                 let (s, e) = self.m.acquire(cpu, t, cdur);
-                let bdur = self.m.node.bus_time_crossing(bytes, cross);
-                let (_, be) = self.m.acquire(bus, s, bdur);
+                let (_, be) = self.m.acquire(bus, s, lp.xfer_time(bytes));
                 self.q.push(e.max(be), Ev::Finish(op));
             }
             OpKind::Reduce {
@@ -415,23 +472,22 @@ impl<'a> Exec<'a> {
             | OpKind::ReduceFrom {
                 bytes, vectorized, ..
             } => {
-                let mut cross = false;
+                let mut lvl = self.m.topo.depth() - 1;
                 if let OpKind::ReduceFrom { from, .. } = o.kind {
                     debug_assert!(
                         self.m.topo.same_node(from as usize, rank),
                         "ReduceFrom across nodes: {from} -> {rank}"
                     );
-                    cross = self.cross_domain(from, o.rank);
+                    lvl = self.link_level(from, o.rank);
                 }
+                let lp = *self.m.levels.get(lvl);
                 let cpu = self.m.cpu(rank);
                 let bus = self.m.bus(node);
-                let rdur = self.m.node.reduce_time(bytes, vectorized);
+                let rdur = lp.reduce_time(bytes, vectorized) + lp.launch;
                 let (s, e) = self.m.acquire(cpu, t, rdur);
-                let bdur = self
+                let (_, be) = self
                     .m
-                    .node
-                    .bus_time_crossing(bytes * REDUCE_BUS_FACTOR, cross);
-                let (_, be) = self.m.acquire(bus, s, bdur);
+                    .acquire(bus, s, lp.xfer_time(bytes * REDUCE_BUS_FACTOR));
                 self.q.push(e.max(be), Ev::Finish(op));
             }
             OpKind::Send { msg } => self.on_send_ready(t, op, msg),
@@ -467,8 +523,10 @@ impl<'a> Exec<'a> {
         }
         let (s, e) = self.m.acquire(cpu, t, dur);
         let posted = if eager && bytes > 0 {
+            // The bounce-buffer copy-in is a local transfer: innermost link.
+            let bdur = self.m.levels.innermost().xfer_time(bytes);
             let bus = self.m.bus(node);
-            let (_, be) = self.m.acquire(bus, s, self.m.node.bus_time(bytes));
+            let (_, be) = self.m.acquire(bus, s, bdur);
             e.max(be)
         } else {
             e
@@ -485,8 +543,10 @@ impl<'a> Exec<'a> {
             // Eager sends complete locally as soon as the bounce copy is done.
             self.q.push(t, Ev::Finish(send_op));
             if intra {
-                // Data is visible in shared memory after a flag round.
-                let arr = t + self.m.node.flag_latency;
+                // Data is visible in shared memory after a flag round at
+                // the level linking the two ranks.
+                let meta = self.prog.msg(msg);
+                let arr = t + self.flag_latency(meta.src, meta.dst);
                 self.q.push(arr, Ev::Arrived(msg));
             } else {
                 self.q.push(t, Ev::TxStart(msg));
@@ -517,7 +577,8 @@ impl<'a> Exec<'a> {
         };
         let intra = self.is_intra(msg);
         if intra {
-            let start = sp.max(rp) + self.m.node.flag_latency;
+            let meta = self.prog.msg(msg);
+            let start = sp.max(rp) + self.flag_latency(meta.src, meta.dst);
             self.q.push(start, Ev::IntraCopy(msg));
         } else {
             self.q.push(sp.max(rp), Ev::RndvCts(msg));
@@ -540,10 +601,9 @@ impl<'a> Exec<'a> {
         let meta = self.prog.msg(msg);
         let bytes = meta.bytes;
         let src_node = self.node_of_rank(meta.src);
-        let wire = self.m.net.wire_time(bytes);
-        let nic = self.m.nic_tx(src_node);
-        let (txs, txe) = self.m.acquire(nic, t, wire);
-        // Sender-side DMA read competes for the node memory bus.
+        let (txs, txe) = self.acquire_rails(src_node, t, bytes, msg, true);
+        // Sender-side DMA read competes for the node memory bus; the DMA
+        // engine moves the full payload once regardless of rail striping.
         let dma = self.m.net.dma_bus_time(bytes, &self.m.node);
         let bus = self.m.bus(src_node);
         let (_, dbe) = self.m.acquire(bus, txs, dma);
@@ -560,22 +620,21 @@ impl<'a> Exec<'a> {
             self.q.push(eff_tx_end, Ev::Finish(send_op));
         }
         // Cut-through: reception starts one wire latency after transmission.
-        self.q.push(txs + self.m.net.latency, Ev::RxStart(msg));
+        self.q
+            .push(txs + self.m.levels.get(0).latency, Ev::RxStart(msg));
     }
 
     fn on_rx_start(&mut self, t: Time, msg: MsgId) {
         let meta = self.prog.msg(msg);
         let bytes = meta.bytes;
         let dst_node = self.node_of_rank(meta.dst);
-        let wire = self.m.net.wire_time(bytes);
-        let nic = self.m.nic_rx(dst_node);
-        let (rxs, rxe) = self.m.acquire(nic, t, wire);
+        let (rxs, rxe) = self.acquire_rails(dst_node, t, bytes, msg, false);
         // Receiver-side DMA write competes for the node memory bus — the
         // paper's "ib needs to push the data back to memory" effect.
         let dma = self.m.net.dma_bus_time(bytes, &self.m.node);
         let bus = self.m.bus(dst_node);
         let (_, dbe) = self.m.acquire(bus, rxs, dma);
-        let lower_bound = self.msgs[msg.0 as usize].eff_tx_end + self.m.net.latency;
+        let lower_bound = self.msgs[msg.0 as usize].eff_tx_end + self.m.levels.get(0).latency;
         let arrival = rxe.max(dbe).max(lower_bound);
         self.q.push(arrival, Ev::Arrived(msg));
     }
@@ -604,12 +663,17 @@ impl<'a> Exec<'a> {
         let (s, e) = self.m.acquire(cpu, t, dur);
         let fin = if eager && bytes > 0 {
             // The receiver's copy-out reads the sender's bounce buffer:
-            // within a node this can cross the socket interconnect.
-            let cross = self.is_intra(msg) && self.cross_domain(meta.src, meta.dst);
+            // within a node this moves over the level linking the ranks;
+            // an inter-node copy-out reads the local NIC bounce buffer
+            // (innermost link).
+            let lvl = if self.is_intra(msg) {
+                self.link_level(meta.src, meta.dst)
+            } else {
+                self.m.topo.depth() - 1
+            };
+            let bdur = self.m.levels.get(lvl).xfer_time(bytes);
             let bus = self.m.bus(node);
-            let (_, be) = self
-                .m
-                .acquire(bus, s, self.m.node.bus_time_crossing(bytes, cross));
+            let (_, be) = self.m.acquire(bus, s, bdur);
             e.max(be)
         } else {
             e
@@ -628,11 +692,10 @@ impl<'a> Exec<'a> {
         let cpu = self.m.cpu(rank);
         let dur = self.opts.p2p.o_recv + self.m.node.copy_time(bytes);
         let (s, e) = self.m.acquire(cpu, t, dur);
-        let cross = self.cross_domain(meta.src, meta.dst);
+        let lvl = self.link_level(meta.src, meta.dst);
+        let bdur = self.m.levels.get(lvl).xfer_time(bytes);
         let bus = self.m.bus(node);
-        let (_, be) = self
-            .m
-            .acquire(bus, s, self.m.node.bus_time_crossing(bytes, cross));
+        let (_, be) = self.m.acquire(bus, s, bdur);
         let fin = e.max(be);
         let st = &self.msgs[msg.0 as usize];
         let (send_op, recv_op) = (st.send_op.expect("send"), st.recv_op.expect("recv"));
@@ -671,7 +734,7 @@ impl<'a> Exec<'a> {
                     node,
                     "cross-node dependency {rank}->{crank}; use send/recv"
                 );
-                self.m.node.flag_latency
+                self.flag_latency(rank, crank)
             };
             self.ready_at[c] = self.ready_at[c].max(t + extra);
             self.indeg[c] -= 1;
@@ -1042,5 +1105,117 @@ mod tests {
 
     fn as_i32(xs: &[i32]) -> Vec<u8> {
         xs.iter().flat_map(|x| x.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn single_rail_machine_times_are_unchanged_by_rail_plumbing() {
+        // rails=1 must be byte-identical through both policies.
+        use han_machine::RailPolicy;
+        let bytes = 1 << 20;
+        let mut times = vec![];
+        for policy in [RailPolicy::RoundRobin, RailPolicy::Stripe] {
+            let mut m = Machine::from_preset(&mini(2, 1).with_rails(1, policy));
+            let mut b = ProgramBuilder::new(2);
+            b.send_recv(0, 1, bytes, None, None, &[], &[]);
+            let r = execute(&mut m, &b.build(), &opts());
+            times.push((r.makespan, r.events));
+        }
+        assert_eq!(times[0], times[1]);
+    }
+
+    #[test]
+    fn striping_speeds_up_a_single_large_transfer() {
+        use han_machine::RailPolicy;
+        let bytes = 16 << 20; // rendezvous
+        let run = |rails: usize, policy| {
+            let mut m = Machine::from_preset(&mini(2, 1).with_rails(rails, policy));
+            let mut b = ProgramBuilder::new(2);
+            b.send_recv(0, 1, bytes, None, None, &[], &[]);
+            execute(&mut m, &b.build(), &opts()).makespan
+        };
+        let one = run(1, RailPolicy::RoundRobin);
+        let striped = run(4, RailPolicy::Stripe);
+        let rr = run(4, RailPolicy::RoundRobin);
+        let ratio = one.as_ps() as f64 / striped.as_ps() as f64;
+        assert!(
+            ratio > 2.5,
+            "4-rail striping should approach 4x on one large message, got {ratio:.2}x"
+        );
+        // Round-robin cannot accelerate a single message.
+        assert!(rr >= striped);
+        let rr_ratio = one.as_ps() as f64 / rr.as_ps() as f64;
+        assert!(
+            rr_ratio < 1.3,
+            "round-robin single msg ~1x, got {rr_ratio:.2}x"
+        );
+    }
+
+    #[test]
+    fn round_robin_spreads_concurrent_messages_across_rails() {
+        use han_machine::RailPolicy;
+        let bytes = 4 << 20;
+        let run = |rails: usize| {
+            let mut m = Machine::from_preset(&mini(3, 1).with_rails(rails, RailPolicy::RoundRobin));
+            let mut b = ProgramBuilder::new(3);
+            b.send_recv(0, 1, bytes, None, None, &[], &[]);
+            b.send_recv(0, 2, bytes, None, None, &[], &[]);
+            execute(&mut m, &b.build(), &opts()).makespan
+        };
+        let serial = run(1);
+        let parallel = run(2);
+        let ratio = serial.as_ps() as f64 / parallel.as_ps() as f64;
+        assert!(
+            ratio > 1.6,
+            "two messages on two rails should overlap, got {ratio:.2}x"
+        );
+    }
+
+    #[test]
+    fn level_override_changes_intra_node_cost() {
+        use han_machine::LevelParams;
+        let bytes = 4 << 20;
+        let base = mini(2, 2);
+        let fast = base.with_level_override(
+            1,
+            LevelParams {
+                bandwidth: base.node.bus_bw * 8.0,
+                latency: Time::from_ns(20),
+                reduce_rate: base.node.reduce_rate,
+                reduce_rate_avx: base.node.reduce_rate_avx,
+                launch: Time::ZERO,
+            },
+        );
+        let run = |p: &han_machine::MachinePreset| {
+            let mut m = Machine::from_preset(p);
+            let mut b = ProgramBuilder::new(4);
+            b.send_recv(0, 1, bytes, None, None, &[], &[]); // intra-node
+            execute(&mut m, &b.build(), &opts()).makespan
+        };
+        assert!(run(&fast) < run(&base));
+    }
+
+    #[test]
+    fn launch_overhead_charged_per_compute_op() {
+        let base = mini(1, 2);
+        let launch = Time::from_us(7);
+        let mut lp = *base.level_params().get(1);
+        lp.launch = launch;
+        let gpu = base.with_level_override(1, lp);
+        let run = |p: &han_machine::MachinePreset| {
+            let mut m = Machine::from_preset(p);
+            let mut b = ProgramBuilder::new(2);
+            b.op(
+                0,
+                OpKind::Copy {
+                    bytes: 64,
+                    src: None,
+                    dst: None,
+                },
+                &[],
+            );
+            execute(&mut m, &b.build(), &opts()).makespan
+        };
+        let delta = run(&gpu) - run(&base);
+        assert_eq!(delta, launch, "one Copy pays exactly one launch");
     }
 }

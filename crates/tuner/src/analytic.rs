@@ -66,18 +66,25 @@ pub fn predict_bcast(
     let nodes = preset.topology.nodes();
     let ppn = preset.topology.ppn();
     let np = nodes * ppn;
-    let alpha = preset.net.latency + p2p.o_send + p2p.o_recv;
-    let big_g = 1.0 / preset.net.nic_bw; // seconds per byte
+    // Closed-form models see one network pipe (all rails aggregated) and
+    // one intra latency — exactly their flat-machine assumption. On
+    // uniform single-rail presets these are the historical
+    // `net.nic_bw`/`net.latency`/`node.flag_latency` values.
+    let lv = preset.level_params();
+    let net_bw = lv.get(0).bandwidth * preset.net.rails as f64;
+    let net_latency = lv.get(0).latency;
+    let alpha = net_latency + p2p.o_send + p2p.o_recv;
+    let big_g = 1.0 / net_bw; // seconds per byte
 
     match model {
         AnalyticModel::Hockney => {
             // Flat binomial over all processes; one α+m/B per hop.
             let depth = log2_ceil(np);
-            (alpha + Time::for_bytes(m, preset.net.nic_bw)) * depth
+            (alpha + Time::for_bytes(m, net_bw)) * depth
         }
         AnalyticModel::LogP => {
             let w = 16 * 1024u64; // packet size
-            let g = Time::for_bytes(w, preset.net.nic_bw);
+            let g = Time::for_bytes(w, net_bw);
             let per_hop = alpha + g * m.div_ceil(w);
             per_hop * log2_ceil(np)
         }
@@ -93,7 +100,7 @@ pub fn predict_bcast(
             } else {
                 p2p.o_send + p2p.o_recv + p2p.rndv_handshake
             };
-            let per_hop = preset.net.latency + o_m + Time::for_bytes(m, preset.net.nic_bw);
+            let per_hop = net_latency + o_m + Time::for_bytes(m, net_bw);
             per_hop * log2_ceil(np)
         }
         AnalyticModel::PerfectOverlap => {
@@ -101,9 +108,9 @@ pub fn predict_bcast(
             // fill (one inter hop chain) + u·max(seg_inter, seg_intra).
             let u = cfg.segments(m);
             let seg = cfg.fs.min(m.max(1));
-            let t_inter = (alpha + Time::for_bytes(seg, preset.net.nic_bw)) * log2_ceil(nodes);
+            let t_inter = (alpha + Time::for_bytes(seg, net_bw)) * log2_ceil(nodes);
             let t_intra = Time::for_bytes(seg, preset.node.copy_rate) * 2
-                + preset.node.flag_latency * (ppn as u64);
+                + lv.innermost().latency * (ppn as u64);
             t_inter + t_inter.max(t_intra) * (u.saturating_sub(1)) + t_intra
         }
     }

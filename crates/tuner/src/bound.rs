@@ -89,11 +89,15 @@ pub fn lower_bound(preset: &MachinePreset, cfg: &HanConfig, coll: Coll, m: u64) 
     let topo = &preset.topology;
     let node = &preset.node;
     let net = &preset.net;
+    let lv = preset.level_params();
     let nl = topo.nodes();
     let world = topo.world_size();
     let el = DataType::Float32.size() as u64;
 
-    let wire = |b: u64| net.wire_time(b);
+    // One message can use at most the aggregate injection bandwidth of all
+    // rails (exact for striping, optimistic — hence still sound — for
+    // round-robin); with one rail this is exactly `net.wire_time`.
+    let wire = |b: u64| Time::for_bytes(b, lv.get(0).bandwidth * net.rails as f64);
     let copy = |b: u64| node.copy_time(b);
 
     // Σ over segments of Σ over sub-segments of `cost`.
@@ -108,14 +112,18 @@ pub fn lower_bound(preset: &MachinePreset, cfg: &HanConfig, coll: Coll, m: u64) 
     let root_reduce_cpu = |fs: u64| -> Time {
         let mut t = Time::ZERO;
         if nl > 1 {
+            // Inter-tree merges are local `Reduce` ops, which the executor
+            // charges at the innermost level's rate.
             let (deg, irs, vect) = inter_root(cfg, nl, true);
-            t += seg_sum(fs, irs, &|b| node.reduce_time(b, vect)) * deg;
+            t += seg_sum(fs, irs, &|b| lv.innermost().reduce_time(b, vect)) * deg;
         }
         for level in 1..topo.depth() {
             let k = topo.levels()[level] as u64;
             if k > 1 {
+                // Intra merges are `ReduceFrom` ops across level-`level`
+                // subgroups, charged at that level's rate.
                 let vect = matches!(cfg.smod_at(level), han_colls::IntraModule::Solo);
-                t += seg_sum(fs, None, &|b| node.reduce_time(b, vect)) * (k - 1);
+                t += seg_sum(fs, None, &|b| lv.get(level).reduce_time(b, vect)) * (k - 1);
             }
         }
         t
@@ -123,7 +131,7 @@ pub fn lower_bound(preset: &MachinePreset, cfg: &HanConfig, coll: Coll, m: u64) 
 
     match coll {
         Coll::Bcast => {
-            let fs = cfg.fs.max(1);
+            let fs = han_machine::coarsen_fs(cfg.fs.max(1), node, &lv);
             let mut best = Time::ZERO;
             if nl > 1 {
                 let (deg, ibs, _) = inter_root(cfg, nl, false);
@@ -136,7 +144,7 @@ pub fn lower_bound(preset: &MachinePreset, cfg: &HanConfig, coll: Coll, m: u64) 
             Some(best)
         }
         Coll::Allreduce | Coll::Reduce => {
-            let fs = (cfg.fs / el).max(1) * el;
+            let fs = han_machine::coarsen_fs((cfg.fs / el).max(1) * el, node, &lv);
             let mut best = root_reduce_cpu(fs);
             if nl > 1 {
                 let (deg_r, irs, _) = inter_root(cfg, nl, true);
@@ -232,6 +240,28 @@ mod tests {
         let cfg = HanConfig::default();
         for coll in [Coll::Gather, Coll::Scatter, Coll::Allgather, Coll::Barrier] {
             assert_eq!(lower_bound(&preset, &cfg, coll, 4096), None);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_and_multi_rail_bounds_hold() {
+        use han_machine::{dgx_like, gpu_hier};
+        for preset in [dgx_like(2, 4), dgx_like(4, 2), gpu_hier(&[2, 2, 2])] {
+            for cfg in configs().into_iter().step_by(3) {
+                for coll in [Coll::Bcast, Coll::Allreduce, Coll::Reduce] {
+                    for m in [4096u64, 1 << 20] {
+                        let Some(lb) = lower_bound(&preset, &cfg, coll, m) else {
+                            continue;
+                        };
+                        let t = time_coll(&Han::with_config(cfg), &preset, coll, m, 0).unwrap();
+                        assert!(
+                            lb <= t,
+                            "{} {coll:?} m={m} cfg={cfg:?}: bound {lb} > cost {t}",
+                            preset.name
+                        );
+                    }
+                }
+            }
         }
     }
 

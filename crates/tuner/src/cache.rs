@@ -342,6 +342,28 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_separates_rails_and_level_overrides() {
+        use han_machine::{dgx_like, RailPolicy};
+        let base = mini(4, 4);
+        let a = preset_fingerprint(&base);
+        let striped = base.with_rails(4, RailPolicy::Stripe);
+        assert_ne!(a, preset_fingerprint(&striped), "rails must re-key");
+        assert_ne!(
+            preset_fingerprint(&striped),
+            preset_fingerprint(&base.with_rails(4, RailPolicy::RoundRobin)),
+            "rail policy must re-key"
+        );
+        let mut gpuish = *base.level_params().get(1);
+        gpuish.bandwidth *= 2.0;
+        assert_ne!(
+            a,
+            preset_fingerprint(&base.with_level_override(1, gpuish)),
+            "level overrides must re-key"
+        );
+        assert_ne!(a, preset_fingerprint(&dgx_like(4, 4)));
+    }
+
+    #[test]
     fn coll_memo_round_trip() {
         let preset = mini(2, 2);
         let cache = CostCache::new(&preset);

@@ -57,7 +57,11 @@ pub fn predict(
     coll: Coll,
     m: u64,
 ) -> Result<Time, Unsupported> {
-    let u = cfg.segments(m) as usize;
+    // The builders coarsen `fs` on launch-charging (GPU-like) levels; the
+    // model must count the tasks they actually emit.
+    let preset = *tb.preset();
+    let fs = han_machine::coarsen_fs(cfg.fs.max(1), &preset.node, &preset.level_params());
+    let u = if m == 0 { 1 } else { m.div_ceil(fs) } as usize;
     let seq = match coll {
         Coll::Bcast => bcast_sequence(u),
         Coll::Allreduce => allreduce_sequence(u),
@@ -68,7 +72,7 @@ pub fn predict(
             })
         }
     };
-    let seg = cfg.fs.min(m.max(1));
+    let seg = fs.min(m.max(1));
     let nl = tb.leaders();
     let mut acc = vec![Time::ZERO; nl];
     for spec in seq {

@@ -103,6 +103,7 @@ pub fn with_nodes(preset: &MachinePreset, nodes: usize) -> MachinePreset {
         topology: Topology::from_levels(&levels),
         node: preset.node,
         net: preset.net,
+        level_overrides: preset.level_overrides,
     }
 }
 
@@ -537,11 +538,7 @@ pub fn classic_agreement(
                 (Coll::Bcast, {
                     makespan(preset, |b, comm| {
                         let bufs = b.alloc_all(m);
-                        let mut cx = han_colls::stack::BuildCtx {
-                            b,
-                            topo: preset.topology,
-                            node: preset.node,
-                        };
+                        let mut cx = han_colls::stack::BuildCtx::new(b, preset);
                         classic::build_bcast(
                             &mut cx,
                             cfg,
@@ -555,11 +552,7 @@ pub fn classic_agreement(
                 (Coll::Allreduce, {
                     makespan(preset, |b, comm| {
                         let bufs = b.alloc_all(m);
-                        let mut cx = han_colls::stack::BuildCtx {
-                            b,
-                            topo: preset.topology,
-                            node: preset.node,
-                        };
+                        let mut cx = han_colls::stack::BuildCtx::new(b, preset);
                         classic::build_allreduce(
                             &mut cx,
                             cfg,
@@ -574,11 +567,7 @@ pub fn classic_agreement(
                 (Coll::Reduce, {
                     makespan(preset, |b, comm| {
                         let bufs = b.alloc_all(m);
-                        let mut cx = han_colls::stack::BuildCtx {
-                            b,
-                            topo: preset.topology,
-                            node: preset.node,
-                        };
+                        let mut cx = han_colls::stack::BuildCtx::new(b, preset);
                         classic::build_reduce(
                             &mut cx,
                             cfg,

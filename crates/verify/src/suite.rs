@@ -11,7 +11,7 @@ use crate::report::{GuidelineReport, VerifyReport};
 use han_colls::stack::Coll;
 use han_colls::{InterAlg, InterModule, IntraModule, MpiStack, TunedOpenMpi};
 use han_core::{Han, HanConfig};
-use han_machine::{mini, mini3, socketize, MachinePreset};
+use han_machine::{dgx_like, gpu_hier, mini, mini3, socketize, MachinePreset};
 use han_tuner::{tune_with_opts, SearchSpace, Strategy, TuneOpts};
 
 /// Suite knobs: sizes, the dominance search space, and tolerances. The
@@ -73,10 +73,17 @@ pub fn corner_configs() -> Vec<HanConfig> {
 }
 
 /// The preset set `repro verify` and `hansim --verify` run by default:
-/// a two-level mini machine, a three-level mini machine, and a
-/// socketized (NUMA-split) variant.
+/// a two-level mini machine, a three-level mini machine, a socketized
+/// (NUMA-split) variant, and two heterogeneous GPU-era machines (per-level
+/// link overrides and multi-rail striped NICs).
 pub fn standard_presets() -> Vec<MachinePreset> {
-    vec![mini(4, 4), mini3(2, 2, 2), socketize(mini(2, 4), 2, 1.5)]
+    vec![
+        mini(4, 4),
+        mini3(2, 2, 2),
+        socketize(mini(2, 4), 2, 1.5),
+        dgx_like(2, 4),
+        gpu_hier(&[2, 2, 2]),
+    ]
 }
 
 /// Run the whole guideline catalog on one preset.

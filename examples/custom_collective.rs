@@ -28,11 +28,7 @@ fn main() {
     let bytes = 256u64;
     let mut b = ProgramBuilder::new(n);
     let bufs = b.alloc_all(bytes);
-    let mut cx = BuildCtx {
-        b: &mut b,
-        topo: preset.topology,
-        node: preset.node,
-    };
+    let mut cx = BuildCtx::new(&mut b, &preset);
     let deps = Frontier::empty(n);
     let after_reduce = build_reduce(
         &mut cx,

@@ -45,11 +45,7 @@ fn allreduce_correct_under_arrival_imbalance() {
     let han = Han::with_config(HanConfig::default().with_fs(256));
     let mut b = ProgramBuilder::new(n);
     let bufs = b.alloc_all(1024);
-    let mut cx = han::colls::stack::BuildCtx {
-        b: &mut b,
-        topo: preset.topology,
-        node: preset.node,
-    };
+    let mut cx = han::colls::stack::BuildCtx::new(&mut b, &preset);
     han.allreduce(
         &mut cx,
         &comm,
@@ -91,11 +87,7 @@ fn reduce_correct_under_arrival_imbalance() {
     let han = Han::with_config(HanConfig::default().with_fs(512));
     let mut b = ProgramBuilder::new(n);
     let bufs = b.alloc_all(1024);
-    let mut cx = han::colls::stack::BuildCtx {
-        b: &mut b,
-        topo: preset.topology,
-        node: preset.node,
-    };
+    let mut cx = han::colls::stack::BuildCtx::new(&mut b, &preset);
     han.reduce(
         &mut cx,
         &comm,
@@ -142,11 +134,7 @@ fn barrier_waits_for_last_arrival_under_skew() {
     let comm = Comm::world(n);
     let han = Han::with_config(HanConfig::default());
     let mut b = ProgramBuilder::new(n);
-    let mut cx = han::colls::stack::BuildCtx {
-        b: &mut b,
-        topo: preset.topology,
-        node: preset.node,
-    };
+    let mut cx = han::colls::stack::BuildCtx::new(&mut b, &preset);
     han.barrier(&mut cx, &comm, &Frontier::empty(n)).unwrap();
     let prog = b.build();
     let mut m = Machine::from_preset(&preset);

@@ -57,11 +57,7 @@ where
     let comm = Comm::world(n);
     let mut b = ProgramBuilder::new(n);
     let bufs = b.alloc_all(bytes);
-    let mut cx = BuildCtx {
-        b: &mut b,
-        topo: preset.topology,
-        node: preset.node,
-    };
+    let mut cx = BuildCtx::new(&mut b, preset);
     f(&mut cx, &comm, &bufs);
     let prog = b.build();
     let mut m = Machine::from_preset(preset);
@@ -325,6 +321,94 @@ fn three_level_segments_overlap_on_adjacent_level_pairs() {
                  serialized across that boundary",
                 k + 1
             );
+        }
+    }
+}
+
+/// A heterogeneous twin of `preset`: every level's parameters pinned via
+/// `level_overrides`, with values restating the uniform derivation
+/// *exactly* (same f64s, launch zero). The twin takes the heterogeneous
+/// code paths everywhere — `is_heterogeneous()` is true and its serde form
+/// carries `level_overrides` — yet must be indistinguishable in cost.
+fn self_override(preset: &MachinePreset) -> MachinePreset {
+    let lv = preset.level_params();
+    let mut twin = *preset;
+    for k in 0..preset.topology.depth() {
+        twin = twin.with_level_override(k, *lv.get(k));
+    }
+    assert!(twin.is_heterogeneous());
+    twin
+}
+
+#[test]
+fn self_override_hetero_machine_is_bit_identical() {
+    // Same programs, same makespans, same event counts, and the same
+    // per-op finish times — the heterogeneous model with all-identical
+    // level params is the uniform model, bit for bit.
+    for preset in [mini(4, 4), mini(1, 6), mini3(2, 2, 4)] {
+        let twin = self_override(&preset);
+        for cfg in corner_configs() {
+            let stack = Han::with_config(cfg);
+            for coll in [Coll::Bcast, Coll::Allreduce, Coll::Reduce] {
+                for bytes in [64 * 1024u64, 2 << 20] {
+                    let pa = build_coll(&stack, &preset, coll, bytes, 0).expect("supported");
+                    let pb = build_coll(&stack, &twin, coll, bytes, 0).expect("supported");
+                    assert_eq!(
+                        pa.ops.len(),
+                        pb.ops.len(),
+                        "{} {coll:?} {bytes}B {cfg}: op counts diverged",
+                        preset.name
+                    );
+                    let opts = ExecOpts::timing(Flavor::OpenMpi.p2p());
+                    let mut ma = Machine::from_preset(&preset);
+                    let (ra, ta) = trace_execution(&mut ma, &pa, &opts);
+                    let mut mb = Machine::from_preset(&twin);
+                    let (rb, tb) = trace_execution(&mut mb, &pb, &opts);
+                    assert_eq!(
+                        (ra.makespan, ra.events),
+                        (rb.makespan, rb.events),
+                        "{} {coll:?} {bytes}B {cfg}: (makespan, events) diverged",
+                        preset.name
+                    );
+                    for (i, (a, b)) in ta.spans.iter().zip(&tb.spans).enumerate() {
+                        assert_eq!(
+                            (a.start, a.end),
+                            (b.start, b.end),
+                            "{} {coll:?} {bytes}B {cfg}: op {i} ({}) finish diverged",
+                            preset.name,
+                            a.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn self_override_hetero_machine_tunes_identically() {
+    // The whole tuner pipeline — candidate enumeration, analytic bounds,
+    // pruning, cost measurement — must pick the same winners at the same
+    // recorded costs on the self-override twin.
+    let space = tiny_space();
+    let colls = [Coll::Bcast, Coll::Allreduce];
+    for preset in [mini(4, 4), mini3(2, 2, 2)] {
+        let twin = self_override(&preset);
+        for strategy in [Strategy::Exhaustive, Strategy::TaskBasedHeuristic] {
+            let a = tune(&preset, &space, &colls, strategy);
+            let b = tune(&twin, &space, &colls, strategy);
+            for coll in colls {
+                for &m in &space.msg_sizes {
+                    let ea = a.table.get(coll, m).expect("tuned entry");
+                    let eb = b.table.get(coll, m).expect("tuned entry");
+                    assert_eq!(
+                        (ea.cfg, ea.cost_ps),
+                        (eb.cfg, eb.cost_ps),
+                        "{} {strategy:?} {coll:?}@{m}: tuned winner diverged",
+                        preset.name
+                    );
+                }
+            }
         }
     }
 }

@@ -89,11 +89,7 @@ fn reduce_gather_scatter_allgather_through_han() {
     // Reduce
     let mut b = ProgramBuilder::new(n);
     let bufs = b.alloc_all(64);
-    let mut cx = BuildCtx {
-        b: &mut b,
-        topo: preset.topology,
-        node: preset.node,
-    };
+    let mut cx = BuildCtx::new(&mut b, &preset);
     let deps = Frontier::empty(n);
     han.reduce(
         &mut cx,
@@ -134,11 +130,7 @@ fn reduce_gather_scatter_allgather_through_han() {
     let src: Vec<BufRange> = (0..n).map(|r| b.alloc(r, 8)).collect();
     let mid = b.alloc(2, 48);
     let dst: Vec<BufRange> = (0..n).map(|r| b.alloc(r, 8)).collect();
-    let mut cx = BuildCtx {
-        b: &mut b,
-        topo: preset.topology,
-        node: preset.node,
-    };
+    let mut cx = BuildCtx::new(&mut b, &preset);
     let f = han
         .gather(&mut cx, &comm, 2, &src, mid, &Frontier::empty(n))
         .expect("gather");
@@ -168,11 +160,7 @@ fn reduce_gather_scatter_allgather_through_han() {
     let block = 8u64;
     let mut b = ProgramBuilder::new(n);
     let bufs = b.alloc_all(block * n as u64);
-    let mut cx = BuildCtx {
-        b: &mut b,
-        topo: preset.topology,
-        node: preset.node,
-    };
+    let mut cx = BuildCtx::new(&mut b, &preset);
     han.allgather(&mut cx, &comm, &bufs, block, &Frontier::empty(n))
         .expect("allgather");
     let prog = b.build();

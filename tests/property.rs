@@ -84,11 +84,7 @@ proptest! {
         let comm = Comm::world(n);
         let mut b = ProgramBuilder::new(n);
         let bufs = b.alloc_all(bytes);
-        let mut cx = han::colls::stack::BuildCtx {
-            b: &mut b,
-            topo: preset.topology,
-            node: preset.node,
-        };
+        let mut cx = han::colls::stack::BuildCtx::new(&mut b, &preset);
         let stack = Han::with_config(cfg);
         stack.allreduce(
             &mut cx,
@@ -152,6 +148,32 @@ proptest! {
         let t1 = time_coll(&stack, &preset, Coll::Bcast, base, 0).unwrap();
         let t2 = time_coll(&stack, &preset, Coll::Bcast, base * 4, 0).unwrap();
         prop_assert!(t2 >= t1, "4x message can't be cheaper: {} vs {}", t2, t1);
+    }
+
+    /// A heterogeneous twin whose per-level overrides restate the uniform
+    /// derivation exactly is cost-identical for arbitrary shapes, sizes
+    /// and configurations — the heterogeneous code path degenerates to
+    /// the uniform model bit for bit.
+    #[test]
+    fn self_override_hetero_twin_is_cost_identical(
+        nodes in 1usize..4,
+        ppn in 1usize..5,
+        bytes in 1u64..300_000,
+        cfg in arb_config(),
+    ) {
+        let preset = mini(nodes, ppn);
+        let lv = preset.level_params();
+        let mut twin = preset;
+        for k in 0..preset.topology.depth() {
+            twin = twin.with_level_override(k, *lv.get(k));
+        }
+        prop_assert!(twin.is_heterogeneous());
+        let stack = Han::with_config(cfg);
+        for coll in [Coll::Bcast, Coll::Allreduce] {
+            let a = time_coll(&stack, &preset, coll, bytes, 0).unwrap();
+            let b = time_coll(&stack, &twin, coll, bytes, 0).unwrap();
+            prop_assert_eq!(a, b, "{:?} diverged on the self-override twin", coll);
+        }
     }
 
     /// The tuned baseline is correct for arbitrary sizes too.
