@@ -223,8 +223,14 @@ fn main() {
             report.events
         );
         println!(
-            "{:>18}  engine: {} pushes / {} pops, max queue depth {}",
-            "", report.engine.pushes, report.engine.pops, report.engine.max_depth
+            "{:>18}  engine: {} pushes / {} pops ({} batched, max burst {}), \
+             max queue depth {}",
+            "",
+            report.engine.pushes,
+            report.engine.pops,
+            report.engine.batched_pops,
+            report.engine.max_batch,
+            report.engine.max_depth
         );
         if report.engine.clamped > 0 {
             eprintln!(

@@ -30,6 +30,12 @@
 //! exhaustive sweep unpruned because it needs the full sample
 //! distribution (best/median/average), not just the winners.
 //!
+//! `--no-delta` disables delta re-simulation of exhaustive sweeps
+//! (replaying the shared event prefix of structurally identical
+//! candidates from a checkpoint). Like pruning it never changes any
+//! result — delta replay is bit-identical by construction — only
+//! wall-clock.
+//!
 //! `--levels 3` runs every experiment on the three-level (socketized)
 //! forms of the machines — `[nodes, sockets, cores]` with a cross-socket
 //! bus derating — instead of the paper's flat two-level shapes. The
@@ -85,6 +91,9 @@ struct Cfg {
     levels: usize,
     /// Bound-prune exhaustive sweeps (`--no-prune` turns this off).
     prune: bool,
+    /// Delta re-simulation of exhaustive sweeps (`--no-delta` turns this
+    /// off). Bit-identical either way — only wall-clock changes.
+    delta: bool,
 }
 
 impl Cfg {
@@ -411,7 +420,10 @@ fn fig8(cfg: &Cfg, prune: bool) -> ([han_tuner::TuneResult; 4], Option<Arc<CostC
                 &colls,
                 s,
                 cache.clone(),
-                TuneOpts { prune },
+                TuneOpts {
+                    prune,
+                    delta: cfg.delta,
+                },
             );
             walls.push(t0.elapsed().as_secs_f64());
             r
@@ -959,7 +971,10 @@ fn hetero(_cfg: &Cfg) {
             &colls,
             Strategy::Exhaustive,
             None,
-            TuneOpts { prune: true },
+            TuneOpts {
+                prune: true,
+                delta: true,
+            },
         );
         let han = Han::tuned(Arc::new(tuned.table));
         for (ci, &coll) in colls.iter().enumerate() {
@@ -1026,11 +1041,14 @@ fn main() {
     let mut cache = CacheMode::Mem;
     let mut levels = 2usize;
     let mut prune = true;
+    let mut delta = true;
     let mut what = "all".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--no-prune" {
             prune = false;
+        } else if a == "--no-delta" {
+            delta = false;
         } else if a == "--scale" {
             if let Some(v) = it.next() {
                 scale = if v == "mini" {
@@ -1067,6 +1085,7 @@ fn main() {
         cache,
         levels,
         prune,
+        delta,
     };
     if levels > 2 {
         // Deep sweeps write results/<fig>_d3.json; two-level files stay put.
@@ -1147,10 +1166,12 @@ fn main() {
     let eng = han_mpi::engine_totals();
     eprintln!(
         "[repro] {what} done in {wall:.1}s wall; event engine: {} pushes, {} pops \
-         ({:.2}M events/s), max queue depth {}",
+         ({:.2}M events/s), {} batched pops (max burst {}), max queue depth {}",
         eng.pushes,
         eng.pops,
         eng.pops as f64 / wall.max(1e-9) / 1e6,
+        eng.batched_pops,
+        eng.max_batch,
         eng.max_depth
     );
     if eng.clamped > 0 {

@@ -95,6 +95,14 @@ impl TemplateStore {
     /// (op vector, per-op dependency lists, messages), so a sweep worker
     /// that keeps one scratch across candidates re-stamps with no heap
     /// traffic at all. The scratch's prior contents are irrelevant.
+    ///
+    /// Returns the stack's template key for this build (`None` when the
+    /// stack declines templating). Candidates sharing a key normally share
+    /// a DAG *structure* — the precondition for delta re-simulation — so
+    /// the tuner uses the key as a cheap structural hint for prefix
+    /// detection. It is a hint only (an unshareable key can cover distinct
+    /// shapes); the delta executor re-verifies structural equality exactly
+    /// before replaying.
     pub fn build_into(
         &self,
         stack: &dyn MpiStack,
@@ -103,11 +111,11 @@ impl TemplateStore {
         bytes: u64,
         root: usize,
         out: &mut Program,
-    ) -> Result<(), Unsupported> {
+    ) -> Result<Option<u64>, Unsupported> {
         let Some(key) = stack.template_key(preset, coll, bytes, root) else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             *out = build_coll(stack, preset, coll, bytes, root)?;
-            return Ok(());
+            return Ok(None);
         };
         let plan = {
             let mut map = self.map.lock().unwrap();
@@ -127,7 +135,7 @@ impl TemplateStore {
                         // the cold-build result.
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         out.clone_from(prog);
-                        return Ok(());
+                        return Ok(Some(key));
                     }
                     Plan::Learn {
                         m1: *m,
@@ -152,12 +160,12 @@ impl TemplateStore {
                         coll.name()
                     );
                 }
-                Ok(())
+                Ok(Some(key))
             }
             Plan::Cold => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 *out = build_coll(stack, preset, coll, bytes, root)?;
-                Ok(())
+                Ok(Some(key))
             }
             Plan::Probe => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -169,7 +177,7 @@ impl TemplateStore {
                 });
                 drop(map);
                 out.clone_from(&prog);
-                Ok(())
+                Ok(Some(key))
             }
             Plan::Learn { m1, p1 } => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -183,7 +191,7 @@ impl TemplateStore {
                 };
                 self.map.lock().unwrap().insert(key, entry);
                 *out = prog;
-                Ok(())
+                Ok(Some(key))
             }
         }
     }

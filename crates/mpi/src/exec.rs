@@ -29,13 +29,38 @@
 //! single-threaded progression engine — which is the paper's second reason
 //! for imperfect overlap ("ib and sb share the same CPU resource to
 //! progress").
+//!
+//! ## Executor core v3
+//!
+//! The executor is a persistent [`Executor`] rather than a per-run stack
+//! value. All per-op state (`ready_at`, pending-dep counts, finish times)
+//! and per-message state live in flat struct-of-arrays vectors indexed by
+//! `u32` arena ids, cleared — not reallocated — between runs. The
+//! dependency structure (children CSR, zero-in-degree roots, message
+//! endpoints) is cached in a `DepGraph` and reused verbatim across
+//! template specializations of the same program shape: a sweep over
+//! thousands of candidate configurations rebuilds the CSR only when the
+//! DAG *structure* changes, not when scalars (byte counts, durations)
+//! change.
+//!
+//! On top of structural reuse sits **delta re-simulation**
+//! ([`Executor::run_recorded`] / [`Executor::run_delta`]): a recorded run
+//! keeps periodic checkpoints of all mutable simulation state plus the pop
+//! position of every op's `Ready` event. A structurally identical
+//! neighbor candidate then replays the unchanged event prefix from the
+//! latest checkpoint that precedes the first divergent op and re-simulates
+//! only the suffix — bit-identical to a full run, because op scalars are
+//! first observed at their `Ready` pop and every message-meta read happens
+//! causally after the `Ready` of one of the message's endpoint ops.
 
 use crate::buffer::Memory;
-use crate::program::{MsgId, OpId, OpKind, Program};
+use crate::datatype::{DataType, ReduceOp};
+use crate::program::{MsgId, MsgMeta, OpId, OpKind, Program};
 use han_machine::{Machine, P2pParams, RailPolicy};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use han_sim::{EngineStats, EventQueue, Time};
+use han_sim::{EngineStats, EventQueue, PoolState, QueueSnapshot, Time};
 
 /// How much work the executor does per event.
 ///
@@ -116,7 +141,7 @@ pub struct Report {
     /// Number of simulator events processed (engine statistic).
     pub events: u64,
     /// Event-engine counters for this execution (pushes, pops, clamped
-    /// past-scheduled events, peak queue depth).
+    /// past-scheduled events, peak queue depth, batch-drain efficacy).
     pub engine: EngineStats,
 }
 
@@ -125,22 +150,32 @@ impl Report {
     pub fn finish(&self, op: OpId) -> Time {
         self.op_finish[op.0 as usize]
     }
+
+    /// Finish time of every op, indexed by op id (differential oracles).
+    pub fn op_finishes(&self) -> &[Time] {
+        &self.op_finish
+    }
 }
 
 /// Process-wide event-engine totals, accumulated across every execution
 /// (all threads). `clamped > 0` means some event was scheduled in the past
 /// and silently clamped — a simulator bug that release builds would
-/// otherwise hide.
+/// otherwise hide. Delta runs accumulate only the suffix they actually
+/// simulated, so these totals honestly measure simulation work done.
 static TOTAL_PUSHES: AtomicU64 = AtomicU64::new(0);
 static TOTAL_POPS: AtomicU64 = AtomicU64::new(0);
 static TOTAL_CLAMPED: AtomicU64 = AtomicU64::new(0);
 static TOTAL_MAX_DEPTH: AtomicU64 = AtomicU64::new(0);
+static TOTAL_BATCHED_POPS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_MAX_BATCH: AtomicU64 = AtomicU64::new(0);
 
 fn accumulate_engine_totals(s: &EngineStats) {
     TOTAL_PUSHES.fetch_add(s.pushes, Ordering::Relaxed);
     TOTAL_POPS.fetch_add(s.pops, Ordering::Relaxed);
     TOTAL_CLAMPED.fetch_add(s.clamped, Ordering::Relaxed);
     TOTAL_MAX_DEPTH.fetch_max(s.max_depth, Ordering::Relaxed);
+    TOTAL_BATCHED_POPS.fetch_add(s.batched_pops, Ordering::Relaxed);
+    TOTAL_MAX_BATCH.fetch_max(s.max_batch, Ordering::Relaxed);
 }
 
 /// Snapshot of the process-wide engine totals.
@@ -150,6 +185,8 @@ pub fn engine_totals() -> EngineStats {
         pops: TOTAL_POPS.load(Ordering::Relaxed),
         clamped: TOTAL_CLAMPED.load(Ordering::Relaxed),
         max_depth: TOTAL_MAX_DEPTH.load(Ordering::Relaxed),
+        batched_pops: TOTAL_BATCHED_POPS.load(Ordering::Relaxed),
+        max_batch: TOTAL_MAX_BATCH.load(Ordering::Relaxed),
     }
 }
 
@@ -159,12 +196,24 @@ pub fn reset_engine_totals() {
     TOTAL_POPS.store(0, Ordering::Relaxed);
     TOTAL_CLAMPED.store(0, Ordering::Relaxed);
     TOTAL_MAX_DEPTH.store(0, Ordering::Relaxed);
+    TOTAL_BATCHED_POPS.store(0, Ordering::Relaxed);
+    TOTAL_MAX_BATCH.store(0, Ordering::Relaxed);
+}
+
+thread_local! {
+    static TLS_EXEC: RefCell<Executor> = RefCell::new(Executor::new());
 }
 
 /// Execute `prog` on `machine` (resources are reset first).
+///
+/// Routed through a thread-local persistent [`Executor`], so repeated
+/// executions of structurally identical programs reuse the dependency CSR
+/// and every state vector's allocation.
 pub fn execute(machine: &mut Machine, prog: &Program, opts: &ExecOpts) -> Report {
-    let (report, _) = run(machine, prog, opts);
-    report
+    TLS_EXEC.with(|e| {
+        let mem = opts.is_full().then(|| Memory::new(&prog.mem_size));
+        e.borrow_mut().run(machine, prog, opts, mem).0
+    })
 }
 
 /// Execute in data mode and return the final memories as well.
@@ -177,8 +226,28 @@ pub fn execute_with_memory(
         opts.is_full(),
         "execute_with_memory requires ExecMode::Full"
     );
-    let (report, mem) = run(machine, prog, opts);
-    (report, mem.expect("data mode produces memory"))
+    TLS_EXEC.with(|e| {
+        let mem = Memory::new(&prog.mem_size);
+        let (report, mem) = e.borrow_mut().run(machine, prog, opts, Some(mem));
+        (report, mem.expect("data mode produces memory"))
+    })
+}
+
+/// Execute with a closure that seeds initial memory contents (testing and
+/// correctness harnesses).
+pub fn execute_seeded(
+    machine: &mut Machine,
+    prog: &Program,
+    opts: &ExecOpts,
+    seed: impl FnOnce(&mut Memory),
+) -> (Report, Memory) {
+    assert!(opts.is_full(), "execute_seeded requires ExecMode::Full");
+    let mut mem = Memory::new(&prog.mem_size);
+    seed(&mut mem);
+    TLS_EXEC.with(|e| {
+        let (report, mem) = e.borrow_mut().run(machine, prog, opts, Some(mem));
+        (report, mem.expect("data mode produces memory"))
+    })
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -202,171 +271,163 @@ enum Ev {
     Finish(OpId),
 }
 
-#[derive(Debug, Clone, Default)]
-struct MsgState {
-    send_op: Option<OpId>,
-    recv_op: Option<OpId>,
-    send_posted: Option<Time>,
-    recv_posted: Option<Time>,
-    arrived: Option<Time>,
-    /// Effective end of transmission (NIC tx + sender-side DMA), used to
-    /// lower-bound arrival and to complete rendezvous sends.
-    eff_tx_end: Time,
-    payload: Option<Vec<u8>>,
-}
+/// "No entry" sentinel for `u32` id slots in [`DepGraph`].
+const NONE_U32: u32 = u32::MAX;
+
+/// "Not yet happened" sentinel for per-message timestamps (the virtual
+/// clock never legitimately reaches `Time::MAX`).
+const UNSET: Time = Time::MAX;
 
 /// Bus traffic factor for reductions: operands are read and the result
 /// written, ~2 bytes of bus traffic per reduced byte.
 const REDUCE_BUS_FACTOR: u64 = 2;
 
-struct Exec<'a> {
+/// Compact `OpKind` dispatch tags (see `Executor::kind_tag`).
+const TAG_NOP: u8 = 0;
+const TAG_SLEEP: u8 = 1;
+const TAG_DELAY: u8 = 2;
+const TAG_OTHER: u8 = 3;
+
+/// Cached dependency *structure* of a program: children CSR, flat deps,
+/// message endpoints, zero-in-degree roots. Built once and reused across
+/// every specialization that keeps the same DAG shape — op scalars (byte
+/// counts, durations) and message scalars never enter this structure, so a
+/// sweep that only varies sizes shares one `DepGraph`.
+#[derive(Debug, Default)]
+struct DepGraph {
+    built: bool,
+    nops: usize,
+    nmsgs: usize,
+    /// Children (reverse dependencies) in CSR form.
+    child_off: Vec<u32>,
+    child: Vec<u32>,
+    /// Flat copy of each op's deps (CSR), kept for exact `matches` compares.
+    dep_off: Vec<u32>,
+    dep: Vec<u32>,
+    op_rank: Vec<u32>,
+    /// Structural message tag: `Send{msg}` -> `msg*2`, `Recv{msg}` ->
+    /// `msg*2+1`, anything else -> `NONE_U32`.
+    op_msg: Vec<u32>,
+    msg_send_op: Vec<u32>,
+    msg_recv_op: Vec<u32>,
+    /// Ops with no dependencies, in op-id order: the ready-queue seeds.
+    roots: Vec<u32>,
+    indeg0: Vec<u32>,
+    cursor: Vec<u32>,
+}
+
+impl DepGraph {
+    /// Exact structural equality with `prog` (ranks, dep lists, message
+    /// endpoints). O(ops + deps); no hashing, so no collisions.
+    fn matches(&self, prog: &Program) -> bool {
+        if !self.built || self.nops != prog.ops.len() || self.nmsgs != prog.msgs.len() {
+            return false;
+        }
+        let mut k = 0usize;
+        for (i, op) in prog.ops.iter().enumerate() {
+            if self.op_rank[i] != op.rank {
+                return false;
+            }
+            let tag = match op.kind {
+                OpKind::Send { msg } => msg.0 * 2,
+                OpKind::Recv { msg } => msg.0 * 2 + 1,
+                _ => NONE_U32,
+            };
+            if self.op_msg[i] != tag {
+                return false;
+            }
+            let ndeps = (self.dep_off[i + 1] - self.dep_off[i]) as usize;
+            if ndeps != op.deps.len() {
+                return false;
+            }
+            for d in &op.deps {
+                if self.dep[k] != d.0 {
+                    return false;
+                }
+                k += 1;
+            }
+        }
+        true
+    }
+
+    /// (Re)build from `prog`, reusing every allocation.
+    fn build(&mut self, prog: &Program) {
+        let n = prog.ops.len();
+        self.nops = n;
+        self.nmsgs = prog.msgs.len();
+        self.op_rank.clear();
+        self.op_msg.clear();
+        self.indeg0.clear();
+        self.roots.clear();
+        self.dep.clear();
+        self.dep_off.clear();
+        self.dep_off.push(0);
+        self.msg_send_op.clear();
+        self.msg_send_op.resize(self.nmsgs, NONE_U32);
+        self.msg_recv_op.clear();
+        self.msg_recv_op.resize(self.nmsgs, NONE_U32);
+        for (i, op) in prog.ops.iter().enumerate() {
+            self.op_rank.push(op.rank);
+            let tag = match op.kind {
+                OpKind::Send { msg } => {
+                    self.msg_send_op[msg.0 as usize] = i as u32;
+                    msg.0 * 2
+                }
+                OpKind::Recv { msg } => {
+                    self.msg_recv_op[msg.0 as usize] = i as u32;
+                    msg.0 * 2 + 1
+                }
+                _ => NONE_U32,
+            };
+            self.op_msg.push(tag);
+            self.indeg0.push(op.deps.len() as u32);
+            if op.deps.is_empty() {
+                self.roots.push(i as u32);
+            }
+            for d in &op.deps {
+                self.dep.push(d.0);
+            }
+            self.dep_off.push(self.dep.len() as u32);
+        }
+        // Children CSR by counting sort over the flat dep array.
+        self.child_off.clear();
+        self.child_off.resize(n + 1, 0);
+        for &d in &self.dep {
+            self.child_off[d as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.child_off[i + 1] += self.child_off[i];
+        }
+        self.child.clear();
+        self.child.resize(self.dep.len(), 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.child_off[..n]);
+        for (i, op) in prog.ops.iter().enumerate() {
+            for d in &op.deps {
+                let c = &mut self.cursor[d.0 as usize];
+                self.child[*c as usize] = i as u32;
+                *c += 1;
+            }
+        }
+        self.built = true;
+    }
+}
+
+/// The machine/program/options context threaded through event handlers,
+/// split from [`Executor`] state so handlers can mutate both sides.
+struct Ctx<'a> {
     m: &'a mut Machine,
     prog: &'a Program,
     opts: &'a ExecOpts,
-    q: EventQueue<Ev>,
-    indeg: Vec<u32>,
-    ready_at: Vec<Time>,
-    finish: Vec<Time>,
-    done: Vec<bool>,
-    // children in CSR form
-    child_off: Vec<u32>,
-    child: Vec<u32>,
-    msgs: Vec<MsgState>,
-    mem: Option<Memory>,
-    completed: usize,
-    /// Reusable operand buffer for Reduce/ReduceFrom in Full mode; the
-    /// executor is single-threaded so one buffer serves every rank.
-    scratch: Vec<u8>,
-    /// Free list of payload buffers. Send snapshots pop from here and are
-    /// returned when the matching Recv delivers, so steady-state execution
-    /// allocates only up to the peak number of in-flight messages.
-    payload_pool: Vec<Vec<u8>>,
 }
 
-fn run(machine: &mut Machine, prog: &Program, opts: &ExecOpts) -> (Report, Option<Memory>) {
-    let mem = opts.is_full().then(|| Memory::new(&prog.mem_size));
-    run_inner(machine, prog, opts, mem)
-}
-
-fn run_inner(
-    machine: &mut Machine,
-    prog: &Program,
-    opts: &ExecOpts,
-    mem: Option<Memory>,
-) -> (Report, Option<Memory>) {
-    debug_assert_eq!(prog.validate(), Ok(()));
-    machine.reset();
-
-    let n = prog.ops.len();
-    // Build CSR of children.
-    let mut child_off = vec![0u32; n + 1];
-    for op in &prog.ops {
-        for d in &op.deps {
-            child_off[d.0 as usize + 1] += 1;
-        }
-    }
-    for i in 0..n {
-        child_off[i + 1] += child_off[i];
-    }
-    let mut cursor = child_off.clone();
-    let mut child = vec![0u32; child_off[n] as usize];
-    for (i, op) in prog.ops.iter().enumerate() {
-        for d in &op.deps {
-            let c = &mut cursor[d.0 as usize];
-            child[*c as usize] = i as u32;
-            *c += 1;
-        }
-    }
-
-    let mut msgs = vec![MsgState::default(); prog.msgs.len()];
-    for (i, op) in prog.ops.iter().enumerate() {
-        match op.kind {
-            OpKind::Send { msg } => msgs[msg.0 as usize].send_op = Some(OpId(i as u32)),
-            OpKind::Recv { msg } => msgs[msg.0 as usize].recv_op = Some(OpId(i as u32)),
-            _ => {}
-        }
-    }
-
-    let mut ex = Exec {
-        m: machine,
-        prog,
-        opts,
-        q: EventQueue::new(),
-        indeg: prog.ops.iter().map(|o| o.deps.len() as u32).collect(),
-        ready_at: vec![Time::ZERO; n],
-        finish: vec![Time::ZERO; n],
-        done: vec![false; n],
-        child_off,
-        child,
-        msgs,
-        mem,
-        completed: 0,
-        scratch: Vec::new(),
-        payload_pool: Vec::new(),
-    };
-
-    // A rank executes nothing before its arrival time: floor every op's
-    // readiness at the rank's start time, and seed dependency-free ops.
-    for (i, op) in prog.ops.iter().enumerate() {
-        let t0 = ex
-            .opts
-            .start_times
-            .as_ref()
-            .map(|s| s[op.rank as usize])
-            .unwrap_or(Time::ZERO);
-        ex.ready_at[i] = t0;
-        if op.deps.is_empty() {
-            ex.q.push(t0, Ev::Ready(OpId(i as u32)));
-        }
-    }
-
-    while let Some((t, ev)) = ex.q.pop() {
-        ex.handle(t, ev);
-    }
-
-    assert_eq!(
-        ex.completed, n,
-        "deadlock: {} of {n} ops completed (dependency cycle or unmatched message)",
-        ex.completed
-    );
-
-    let mut rank_finish = vec![Time::ZERO; prog.nranks];
-    for (i, op) in prog.ops.iter().enumerate() {
-        let r = op.rank as usize;
-        rank_finish[r] = rank_finish[r].max(ex.finish[i]);
-    }
-    let makespan = rank_finish.iter().copied().max().unwrap_or(Time::ZERO);
-    let engine = ex.q.stats();
-    accumulate_engine_totals(&engine);
-    let report = Report {
-        op_finish: ex.finish,
-        rank_finish,
-        makespan,
-        events: engine.pops,
-        engine,
-    };
-    (report, ex.mem)
-}
-
-impl<'a> Exec<'a> {
-    fn handle(&mut self, t: Time, ev: Ev) {
-        match ev {
-            Ev::Ready(op) => self.on_ready(t, op),
-            Ev::SendPosted(msg) => self.on_send_posted(t, msg),
-            Ev::RndvCts(msg) => self.on_rndv_cts(t, msg),
-            Ev::TxStart(msg) => self.on_tx_start(t, msg),
-            Ev::RxStart(msg) => self.on_rx_start(t, msg),
-            Ev::Arrived(msg) => self.on_arrived(t, msg),
-            Ev::IntraCopy(msg) => self.on_intra_copy(t, msg),
-            Ev::Finish(op) => self.on_finish(t, op),
-        }
-    }
-
+impl Ctx<'_> {
     #[inline]
     fn node_of_rank(&self, rank: u32) -> usize {
         self.m.topo.node_of(rank as usize)
     }
 
+    #[inline]
     fn is_intra(&self, msg: MsgId) -> bool {
         let meta = self.prog.msg(msg);
         self.m.topo.same_node(meta.src as usize, meta.dst as usize)
@@ -384,7 +445,7 @@ impl<'a> Exec<'a> {
     /// Latency of an intra-node synchronization flag between two ranks:
     /// the latency of the level linking them.
     #[inline]
-    fn flag_latency(&self, a: u32, b: u32) -> han_sim::Time {
+    fn flag_latency(&self, a: u32, b: u32) -> Time {
         self.m.levels.get(self.link_level(a, b)).latency
     }
 
@@ -431,18 +492,541 @@ impl<'a> Exec<'a> {
         }
         (s_min.unwrap(), e_max)
     }
+}
 
-    fn on_ready(&mut self, t: Time, op: OpId) {
-        let o = &self.prog.ops[op.0 as usize];
+/// Periodic full-state checkpoint of a recorded run: everything needed to
+/// resume the event loop from pop position `pos`.
+#[derive(Debug)]
+struct Checkpoint {
+    /// Number of events popped before this checkpoint was taken (the pop
+    /// position of the *next* event).
+    pos: u64,
+    queue: QueueSnapshot<Ev>,
+    pool: PoolState,
+    indeg: Vec<u32>,
+    ready_at: Vec<Time>,
+    finish: Vec<Time>,
+    done: Vec<bool>,
+    msg_send_posted: Vec<Time>,
+    msg_recv_posted: Vec<Time>,
+    msg_arrived: Vec<Time>,
+    msg_eff_tx_end: Vec<Time>,
+    completed: usize,
+}
+
+/// Timing projection of one op kind: the dispatch tag plus the scalars the
+/// timing-only executor reads — everything except buffer placement.
+/// `BufRange`s only steer data movement in `ExecMode::Full`, which delta
+/// replay rejects up front, so two ops whose projections are equal produce
+/// identical timing even when their buffer offsets differ.
+fn project_kind(k: &OpKind) -> (u8, u64, u64) {
+    use OpKind::*;
+    match *k {
+        Nop => (0, 0, 0),
+        Delay { dur } => (1, dur.as_ps(), 0),
+        Sleep { dur } => (2, dur.as_ps(), 0),
+        Copy { bytes, .. } => (3, bytes, 0),
+        CrossCopy { from, bytes, .. } => (4, bytes, from as u64),
+        Reduce {
+            bytes,
+            vectorized,
+            op,
+            dtype,
+            ..
+        } => (5, bytes, pack_reduce(vectorized, op, dtype, 0)),
+        ReduceFrom {
+            from,
+            bytes,
+            vectorized,
+            op,
+            dtype,
+            ..
+        } => (6, bytes, pack_reduce(vectorized, op, dtype, from)),
+        Send { msg } => (7, u64::from(msg.0), 0),
+        Recv { msg } => (8, u64::from(msg.0), 0),
+    }
+}
+
+fn pack_reduce(vectorized: bool, op: ReduceOp, dtype: DataType, from: u32) -> u64 {
+    u64::from(vectorized) | (op as u64) << 1 | (dtype as u64) << 8 | u64::from(from) << 16
+}
+
+/// Timing projection of one message meta: endpoints and size; payload
+/// buffer ranges are irrelevant on the timing-only path.
+fn project_msg(m: &MsgMeta) -> (u32, u32, u64) {
+    (m.src, m.dst, m.bytes)
+}
+
+/// Replay log of one full timing run: the simulated program's dependency
+/// structure (exact flat copies of the CSR arrays — no hashing, so no
+/// collisions) and timing-relevant scalars, the pop position of every op's
+/// `Ready` event, periodic `Checkpoint`s, and the final [`Report`].
+/// Produced by [`Executor::run_recorded`], consumed by
+/// [`Executor::run_delta`]. Deliberately does **not** clone the `Program`:
+/// per-op dependency vectors would cost one heap block each, which at
+/// sweep rates would make the recording run ~2x the price of a plain one.
+#[derive(Debug)]
+pub struct Recording {
+    /// Exact structural identity: flat copies of the dependency CSR.
+    op_rank: Vec<u32>,
+    op_msg: Vec<u32>,
+    dep_off: Vec<u32>,
+    dep: Vec<u32>,
+    nmsgs: usize,
+    /// Timing projection of every op kind / message meta.
+    kinds: Vec<(u8, u64, u64)>,
+    msgs: Vec<(u32, u32, u64)>,
+    /// Pop position of `Ready(op)` for every op (`u64::MAX` until popped).
+    ready_pos: Vec<u64>,
+    checkpoints: Vec<Checkpoint>,
+    report: Report,
+}
+
+impl Recording {
+    /// The report of the recorded full run.
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+
+    /// Number of checkpoints kept (diagnostics).
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Pop position of every op's `Ready` event (diagnostics).
+    pub fn ready_positions(&self) -> &[u64] {
+        &self.ready_pos
+    }
+
+    /// Pop positions of the retained checkpoints (diagnostics).
+    pub fn checkpoint_positions(&self) -> Vec<u64> {
+        self.checkpoints.iter().map(|c| c.pos).collect()
+    }
+}
+
+/// Upper bound on retained checkpoints; once exceeded, every other
+/// checkpoint is dropped and the spacing doubles (logarithmic thinning, so
+/// long runs keep coarse early coverage and fine recent coverage).
+const MAX_CHECKPOINTS: usize = 8;
+
+struct RecState {
+    ready_pos: Vec<u64>,
+    checkpoints: Vec<Checkpoint>,
+    interval: u64,
+    next_mark: u64,
+}
+
+fn take_checkpoint(rs: &mut RecState, st: &Executor, m: &Machine, pos: u64) {
+    rs.checkpoints.push(Checkpoint {
+        pos,
+        queue: st.q.snapshot(),
+        pool: m.save_pool(),
+        indeg: st.indeg.clone(),
+        ready_at: st.ready_at.clone(),
+        finish: st.finish.clone(),
+        done: st.done.clone(),
+        msg_send_posted: st.msg_send_posted.clone(),
+        msg_recv_posted: st.msg_recv_posted.clone(),
+        msg_arrived: st.msg_arrived.clone(),
+        msg_eff_tx_end: st.msg_eff_tx_end.clone(),
+        completed: st.completed,
+    });
+    rs.next_mark = pos + rs.interval;
+    if rs.checkpoints.len() > MAX_CHECKPOINTS {
+        let mut i = 0usize;
+        rs.checkpoints.retain(|_| {
+            let keep = i % 2 == 0;
+            i += 1;
+            keep
+        });
+        rs.interval *= 2;
+    }
+}
+
+/// A persistent, reusable program executor.
+///
+/// All per-run state lives in flat vectors indexed by op/message id that
+/// are cleared (never reallocated) between runs; the dependency CSR is
+/// cached across structurally identical programs. One `Executor` per
+/// worker thread turns a tuning sweep into a zero-allocation steady state.
+#[derive(Debug, Default)]
+pub struct Executor {
+    q: EventQueue<Ev>,
+    graph: DepGraph,
+    indeg: Vec<u32>,
+    ready_at: Vec<Time>,
+    finish: Vec<Time>,
+    done: Vec<bool>,
+    // Per-message SoA state ("not yet" = UNSET for the timestamps).
+    msg_send_posted: Vec<Time>,
+    msg_recv_posted: Vec<Time>,
+    msg_arrived: Vec<Time>,
+    msg_eff_tx_end: Vec<Time>,
+    msg_payload: Vec<Option<Vec<u8>>>,
+    completed: usize,
+    /// Per-op compact kind tag (`TAG_*`) and Sleep/Delay duration, rebuilt
+    /// by `prepare` for each run (scalars are not part of the cached CSR).
+    kind_tag: Vec<u8>,
+    kind_dur: Vec<Time>,
+    mem: Option<Memory>,
+    /// Reusable operand buffer for Reduce/ReduceFrom in Full mode; the
+    /// executor is single-threaded so one buffer serves every rank.
+    scratch: Vec<u8>,
+    /// Free list of payload buffers. Send snapshots pop from here and are
+    /// returned when the matching Recv delivers, so steady-state execution
+    /// allocates only up to the peak number of in-flight messages.
+    payload_pool: Vec<Vec<u8>>,
+}
+
+impl Executor {
+    pub fn new() -> Self {
+        Executor::default()
+    }
+
+    /// Execute `prog` on `machine` (resources are reset first), reusing
+    /// this executor's cached structure and state vectors.
+    pub fn execute(&mut self, machine: &mut Machine, prog: &Program, opts: &ExecOpts) -> Report {
+        let mem = opts.is_full().then(|| Memory::new(&prog.mem_size));
+        self.run(machine, prog, opts, mem).0
+    }
+
+    fn run(
+        &mut self,
+        machine: &mut Machine,
+        prog: &Program,
+        opts: &ExecOpts,
+        mem: Option<Memory>,
+    ) -> (Report, Option<Memory>) {
+        self.prepare(prog, opts);
+        self.mem = mem;
+        machine.reset();
+        let mut cx = Ctx {
+            m: machine,
+            prog,
+            opts,
+        };
+        while let Some((t, ev)) = self.q.pop() {
+            self.handle(&mut cx, t, ev);
+        }
+        let report = self.finish_report(prog);
+        accumulate_engine_totals(&report.engine);
+        (report, self.mem.take())
+    }
+
+    /// Execute a timing-only run while recording checkpoints and `Ready`
+    /// pop positions for later delta re-simulation.
+    pub fn run_recorded(
+        &mut self,
+        machine: &mut Machine,
+        prog: &Program,
+        opts: &ExecOpts,
+    ) -> Recording {
+        self.run_recording(machine, prog, opts, true)
+    }
+
+    /// Like [`Executor::run_recorded`] but without checkpoints: only the
+    /// `Ready` pop positions are traced, so the run costs roughly the same
+    /// as a plain [`Executor::execute`]. The resulting [`Recording`] still
+    /// supports exact-match replay (identical program → free report) and
+    /// divergence detection; a partial replay simply finds no usable
+    /// checkpoint and [`Executor::run_delta`] returns `None`.
+    pub fn run_traced(
+        &mut self,
+        machine: &mut Machine,
+        prog: &Program,
+        opts: &ExecOpts,
+    ) -> Recording {
+        self.run_recording(machine, prog, opts, false)
+    }
+
+    fn run_recording(
+        &mut self,
+        machine: &mut Machine,
+        prog: &Program,
+        opts: &ExecOpts,
+        checkpoints: bool,
+    ) -> Recording {
+        assert!(
+            !opts.is_full() && opts.start_times.is_none(),
+            "recording requires the timing-only fast path without start skew"
+        );
+        self.prepare(prog, opts);
+        self.mem = None;
+        machine.reset();
+        let n = self.graph.nops;
+        // Spacing in pop positions. A run pops ~2-3 events per op, so n/2
+        // yields roughly 4-6 marks — what a finer initial spacing would be
+        // thinned down to anyway, at half the snapshot cost. The floor
+        // keeps even tiny programs (whole runs shorter than a coarse
+        // interval would be) checkpointable.
+        let interval = (n as u64 / 2).max(32);
+        let mut rs = RecState {
+            ready_pos: vec![u64::MAX; n],
+            checkpoints: Vec::new(),
+            interval,
+            next_mark: if checkpoints { interval } else { u64::MAX },
+        };
+        let mut cx = Ctx {
+            m: machine,
+            prog,
+            opts,
+        };
+        loop {
+            let pos = self.q.processed();
+            if pos >= rs.next_mark && self.completed < n {
+                take_checkpoint(&mut rs, self, cx.m, pos);
+            }
+            let Some((t, ev)) = self.q.pop() else { break };
+            if let Ev::Ready(op) = ev {
+                rs.ready_pos[op.0 as usize] = pos;
+            }
+            self.handle(&mut cx, t, ev);
+        }
+        let report = self.finish_report(prog);
+        accumulate_engine_totals(&report.engine);
+        Recording {
+            op_rank: self.graph.op_rank.clone(),
+            op_msg: self.graph.op_msg.clone(),
+            dep_off: self.graph.dep_off.clone(),
+            dep: self.graph.dep.clone(),
+            nmsgs: self.graph.nmsgs,
+            kinds: prog.ops.iter().map(|o| project_kind(&o.kind)).collect(),
+            msgs: prog.msgs.iter().map(project_msg).collect(),
+            ready_pos: rs.ready_pos,
+            checkpoints: rs.checkpoints,
+            report,
+        }
+    }
+
+    /// Re-simulate `prog` by replaying the unchanged prefix of `base` and
+    /// simulating only the divergent suffix. Returns `None` when delta
+    /// replay is not applicable (data mode, start skew, different DAG
+    /// structure, or divergence before the first checkpoint) — the caller
+    /// then falls back to a full run.
+    ///
+    /// The returned report is **bit-identical** to a full simulation of
+    /// `prog`: op scalars are first read when their `Ready` event pops,
+    /// and every message-meta read is causally ordered after the `Ready`
+    /// of one of the message's endpoint ops, so restoring any checkpoint
+    /// at or before the first divergent `Ready` position replays exactly
+    /// the events a full run would process.
+    pub fn run_delta(
+        &mut self,
+        machine: &mut Machine,
+        prog: &Program,
+        opts: &ExecOpts,
+        base: &Recording,
+    ) -> Option<Report> {
+        if opts.is_full() || opts.start_times.is_some() {
+            return None;
+        }
+        debug_assert_eq!(prog.validate(), Ok(()));
+        if !self.graph.matches(prog) {
+            self.graph.build(prog);
+        }
+        // Structural identity: exact compare of the flat CSR copies (no
+        // hashing, so no collisions).
+        if self.graph.nmsgs != base.nmsgs
+            || self.graph.op_rank != base.op_rank
+            || self.graph.op_msg != base.op_msg
+            || self.graph.dep_off != base.dep_off
+            || self.graph.dep != base.dep
+        {
+            return None;
+        }
+        // First divergent pop position k*: the earliest Ready of any op
+        // whose timing-relevant scalars differ, or of any endpoint of a
+        // message whose timing-relevant meta differs. Buffer placement
+        // (`BufRange`s) is projected out: the timing-only fast path this
+        // replay is restricted to never reads it, and sweep candidates
+        // that differ only in message size shift every staging-buffer
+        // offset while leaving most of the timeline untouched.
+        let mut kstar = u64::MAX;
+        for (i, op) in prog.ops.iter().enumerate() {
+            if project_kind(&op.kind) != base.kinds[i] {
+                kstar = kstar.min(base.ready_pos[i]);
+            }
+        }
+        for (j, msg) in prog.msgs.iter().enumerate() {
+            if project_msg(msg) != base.msgs[j] {
+                let s = self.graph.msg_send_op[j];
+                let r = self.graph.msg_recv_op[j];
+                if s == NONE_U32 || r == NONE_U32 {
+                    return None;
+                }
+                kstar = kstar.min(base.ready_pos[s as usize]);
+                kstar = kstar.min(base.ready_pos[r as usize]);
+            }
+        }
+        if kstar == u64::MAX {
+            // Identical program: the recorded run *is* the answer. The
+            // machine is untouched and no simulation work is accumulated.
+            return Some(base.report.clone());
+        }
+        let cp = base.checkpoints.iter().rev().find(|c| c.pos <= kstar)?;
+        self.build_kind_tables(prog);
+        self.q.restore(&cp.queue);
+        machine.restore_pool(&cp.pool);
+        self.indeg.clone_from(&cp.indeg);
+        self.ready_at.clone_from(&cp.ready_at);
+        self.finish.clone_from(&cp.finish);
+        self.done.clone_from(&cp.done);
+        self.msg_send_posted.clone_from(&cp.msg_send_posted);
+        self.msg_recv_posted.clone_from(&cp.msg_recv_posted);
+        self.msg_arrived.clone_from(&cp.msg_arrived);
+        self.msg_eff_tx_end.clone_from(&cp.msg_eff_tx_end);
+        self.completed = cp.completed;
+        self.mem = None;
+        self.msg_payload.clear();
+        self.msg_payload.resize_with(self.graph.nmsgs, || None);
+        let s0 = self.q.stats();
+        let mut cx = Ctx {
+            m: machine,
+            prog,
+            opts,
+        };
+        while let Some((t, ev)) = self.q.pop() {
+            self.handle(&mut cx, t, ev);
+        }
+        let report = self.finish_report(prog);
+        // The restored queue stats carry the prefix, so `report.engine` is
+        // full-run-equivalent; process-wide totals get only the suffix
+        // actually simulated.
+        let end = &report.engine;
+        accumulate_engine_totals(&EngineStats {
+            pushes: end.pushes - s0.pushes,
+            pops: end.pops - s0.pops,
+            clamped: end.clamped - s0.clamped,
+            max_depth: end.max_depth,
+            batched_pops: end.batched_pops - s0.batched_pops,
+            max_batch: end.max_batch,
+        });
+        Some(report)
+    }
+
+    /// Rebuild the compact dispatch tables: the ready handler for the
+    /// trivial kinds (Nop/Sleep/Delay — the bulk of fine-grained DAGs)
+    /// reads one byte and one `Time` instead of the ~100-byte `Op`.
+    /// Rebuilt per run because scalars move under template re-stamping
+    /// even when the cached CSR structure matches.
+    fn build_kind_tables(&mut self, prog: &Program) {
+        self.kind_tag.clear();
+        self.kind_dur.clear();
+        for op in &prog.ops {
+            let (tag, dur) = match op.kind {
+                OpKind::Nop => (TAG_NOP, Time::ZERO),
+                OpKind::Sleep { dur } => (TAG_SLEEP, dur),
+                OpKind::Delay { dur } => (TAG_DELAY, dur),
+                _ => (TAG_OTHER, Time::ZERO),
+            };
+            self.kind_tag.push(tag);
+            self.kind_dur.push(dur);
+        }
+    }
+
+    /// Reset all per-run state for `prog` (keeping allocations and, when
+    /// the structure matches, the cached dependency CSR) and seed the
+    /// ready queue from the precomputed zero-in-degree roots.
+    fn prepare(&mut self, prog: &Program, opts: &ExecOpts) {
+        debug_assert_eq!(prog.validate(), Ok(()));
+        if !self.graph.matches(prog) {
+            self.graph.build(prog);
+        }
+        let n = self.graph.nops;
+        let nm = self.graph.nmsgs;
+        self.q.reset();
+        self.build_kind_tables(prog);
+        self.indeg.clear();
+        self.indeg.extend_from_slice(&self.graph.indeg0);
+        self.finish.clear();
+        self.finish.resize(n, Time::ZERO);
+        self.done.clear();
+        self.done.resize(n, false);
+        self.ready_at.clear();
+        match &opts.start_times {
+            // A rank executes nothing before its arrival time: floor every
+            // op's readiness at the rank's start time.
+            Some(st) => self
+                .ready_at
+                .extend(self.graph.op_rank.iter().map(|&r| st[r as usize])),
+            None => self.ready_at.resize(n, Time::ZERO),
+        }
+        self.msg_send_posted.clear();
+        self.msg_send_posted.resize(nm, UNSET);
+        self.msg_recv_posted.clear();
+        self.msg_recv_posted.resize(nm, UNSET);
+        self.msg_arrived.clear();
+        self.msg_arrived.resize(nm, UNSET);
+        self.msg_eff_tx_end.clear();
+        self.msg_eff_tx_end.resize(nm, Time::ZERO);
+        self.msg_payload.clear();
+        self.msg_payload.resize_with(nm, || None);
+        self.completed = 0;
+        for i in 0..self.graph.roots.len() {
+            let r = self.graph.roots[i] as usize;
+            let at = self.ready_at[r];
+            self.q.push(at, Ev::Ready(OpId(r as u32)));
+        }
+    }
+
+    fn finish_report(&self, prog: &Program) -> Report {
+        assert_eq!(
+            self.completed, self.graph.nops,
+            "deadlock: {} of {} ops completed (dependency cycle or unmatched message)",
+            self.completed, self.graph.nops
+        );
+        let mut rank_finish = vec![Time::ZERO; prog.nranks];
+        for (i, &r) in self.graph.op_rank.iter().enumerate() {
+            let r = r as usize;
+            rank_finish[r] = rank_finish[r].max(self.finish[i]);
+        }
+        let makespan = rank_finish.iter().copied().max().unwrap_or(Time::ZERO);
+        let engine = self.q.stats();
+        Report {
+            op_finish: self.finish.clone(),
+            rank_finish,
+            makespan,
+            events: engine.pops,
+            engine,
+        }
+    }
+
+    #[inline]
+    fn handle(&mut self, cx: &mut Ctx, t: Time, ev: Ev) {
+        match ev {
+            Ev::Ready(op) => self.on_ready(cx, t, op),
+            Ev::SendPosted(msg) => self.on_send_posted(cx, t, msg),
+            Ev::RndvCts(msg) => self.on_rndv_cts(cx, t, msg),
+            Ev::TxStart(msg) => self.on_tx_start(cx, t, msg),
+            Ev::RxStart(msg) => self.on_rx_start(cx, t, msg),
+            Ev::Arrived(msg) => self.on_arrived(cx, t, msg),
+            Ev::IntraCopy(msg) => self.on_intra_copy(cx, t, msg),
+            Ev::Finish(op) => self.on_finish(cx, t, op),
+        }
+    }
+
+    fn on_ready(&mut self, cx: &mut Ctx, t: Time, op: OpId) {
+        // Trivial kinds dispatch off the compact tag table — one byte and
+        // (for Sleep/Delay) one `Time` — without touching the fat `Op`.
+        let idx = op.0 as usize;
+        match self.kind_tag[idx] {
+            TAG_NOP => return self.q.push(t, Ev::Finish(op)),
+            TAG_SLEEP => return self.q.push(t + self.kind_dur[idx], Ev::Finish(op)),
+            TAG_DELAY => {
+                let cpu = cx.m.cpu(self.graph.op_rank[idx] as usize);
+                let (_, e) = cx.m.acquire(cpu, t, self.kind_dur[idx]);
+                return self.q.push(e, Ev::Finish(op));
+            }
+            _ => {}
+        }
+        let prog = cx.prog;
+        let o = &prog.ops[idx];
         let rank = o.rank as usize;
-        let node = self.node_of_rank(o.rank);
+        // `node` is a division by ppn; compute it only in the arms that
+        // touch the node bus.
         match o.kind {
-            OpKind::Nop => self.q.push(t, Ev::Finish(op)),
-            OpKind::Sleep { dur } => self.q.push(t + dur, Ev::Finish(op)),
-            OpKind::Delay { dur } => {
-                let cpu = self.m.cpu(rank);
-                let (_, e) = self.m.acquire(cpu, t, dur);
-                self.q.push(e, Ev::Finish(op));
+            OpKind::Nop | OpKind::Sleep { .. } | OpKind::Delay { .. } => {
+                unreachable!("trivial kinds dispatch off the tag table")
             }
             OpKind::Copy { bytes, .. } | OpKind::CrossCopy { bytes, .. } => {
                 // Local copies use the innermost link; cross-rank copies
@@ -450,20 +1034,20 @@ impl<'a> Exec<'a> {
                 // machines both carry exactly the old bus/cross-socket
                 // rates; heterogeneous levels add a launch overhead and
                 // their own bandwidth.
-                let mut lvl = self.m.topo.depth() - 1;
+                let mut lvl = cx.m.topo.depth() - 1;
                 if let OpKind::CrossCopy { from, .. } = o.kind {
                     debug_assert!(
-                        self.m.topo.same_node(from as usize, rank),
+                        cx.m.topo.same_node(from as usize, rank),
                         "CrossCopy across nodes: {from} -> {rank}"
                     );
-                    lvl = self.link_level(from, o.rank);
+                    lvl = cx.link_level(from, o.rank);
                 }
-                let lp = *self.m.levels.get(lvl);
-                let cpu = self.m.cpu(rank);
-                let bus = self.m.bus(node);
-                let cdur = self.m.node.copy_time(bytes) + lp.launch;
-                let (s, e) = self.m.acquire(cpu, t, cdur);
-                let (_, be) = self.m.acquire(bus, s, lp.xfer_time(bytes));
+                let lp = *cx.m.levels.get(lvl);
+                let cpu = cx.m.cpu(rank);
+                let bus = cx.m.bus(cx.node_of_rank(o.rank));
+                let cdur = cx.m.node.copy_time(bytes) + lp.launch;
+                let (s, e) = cx.m.acquire(cpu, t, cdur);
+                let (_, be) = cx.m.acquire(bus, s, lp.xfer_time(bytes));
                 self.q.push(e.max(be), Ev::Finish(op));
             }
             OpKind::Reduce {
@@ -472,35 +1056,35 @@ impl<'a> Exec<'a> {
             | OpKind::ReduceFrom {
                 bytes, vectorized, ..
             } => {
-                let mut lvl = self.m.topo.depth() - 1;
+                let mut lvl = cx.m.topo.depth() - 1;
                 if let OpKind::ReduceFrom { from, .. } = o.kind {
                     debug_assert!(
-                        self.m.topo.same_node(from as usize, rank),
+                        cx.m.topo.same_node(from as usize, rank),
                         "ReduceFrom across nodes: {from} -> {rank}"
                     );
-                    lvl = self.link_level(from, o.rank);
+                    lvl = cx.link_level(from, o.rank);
                 }
-                let lp = *self.m.levels.get(lvl);
-                let cpu = self.m.cpu(rank);
-                let bus = self.m.bus(node);
+                let lp = *cx.m.levels.get(lvl);
+                let cpu = cx.m.cpu(rank);
+                let bus = cx.m.bus(cx.node_of_rank(o.rank));
                 let rdur = lp.reduce_time(bytes, vectorized) + lp.launch;
-                let (s, e) = self.m.acquire(cpu, t, rdur);
-                let (_, be) = self
-                    .m
-                    .acquire(bus, s, lp.xfer_time(bytes * REDUCE_BUS_FACTOR));
+                let (s, e) = cx.m.acquire(cpu, t, rdur);
+                let (_, be) =
+                    cx.m.acquire(bus, s, lp.xfer_time(bytes * REDUCE_BUS_FACTOR));
                 self.q.push(e.max(be), Ev::Finish(op));
             }
-            OpKind::Send { msg } => self.on_send_ready(t, op, msg),
-            OpKind::Recv { msg } => self.on_recv_ready(t, msg),
+            OpKind::Send { msg } => self.on_send_ready(cx, t, msg),
+            OpKind::Recv { msg } => self.on_recv_ready(cx, t, msg),
         }
     }
 
-    fn on_send_ready(&mut self, t: Time, _op: OpId, msg: MsgId) {
-        let meta = self.prog.msg(msg);
+    fn on_send_ready(&mut self, cx: &mut Ctx, t: Time, msg: MsgId) {
+        let meta = cx.prog.msg(msg);
         let bytes = meta.bytes;
-        let eager = self.opts.p2p.is_eager(bytes);
+        let p2p = cx.opts.p2p;
+        let eager = p2p.is_eager(bytes);
         let rank = meta.src as usize;
-        let node = self.node_of_rank(meta.src);
+        let node = cx.node_of_rank(meta.src);
 
         // Snapshot the payload at send time: dependencies guarantee the
         // data is ready, and MPI forbids the sender from touching the
@@ -510,23 +1094,22 @@ impl<'a> Exec<'a> {
                 let mut data = self.payload_pool.pop().unwrap_or_default();
                 data.clear();
                 data.extend_from_slice(mem.read(rank, sbuf));
-                self.msgs[msg.0 as usize].payload = Some(data);
+                self.msg_payload[msg.0 as usize] = Some(data);
             }
         }
 
-        let cpu = self.m.cpu(rank);
-        let p2p = self.opts.p2p;
+        let cpu = cx.m.cpu(rank);
         let mut dur = p2p.o_send;
         if eager {
             // Eager: bounce-buffer copy + per-byte stack work on the CPU.
-            dur += p2p.cpu_byte_time(bytes) + self.m.node.copy_time(bytes);
+            dur += p2p.cpu_byte_time(bytes) + cx.m.node.copy_time(bytes);
         }
-        let (s, e) = self.m.acquire(cpu, t, dur);
+        let (s, e) = cx.m.acquire(cpu, t, dur);
         let posted = if eager && bytes > 0 {
             // The bounce-buffer copy-in is a local transfer: innermost link.
-            let bdur = self.m.levels.innermost().xfer_time(bytes);
-            let bus = self.m.bus(node);
-            let (_, be) = self.m.acquire(bus, s, bdur);
+            let bdur = cx.m.levels.innermost().xfer_time(bytes);
+            let bus = cx.m.bus(node);
+            let (_, be) = cx.m.acquire(bus, s, bdur);
             e.max(be)
         } else {
             e
@@ -534,51 +1117,53 @@ impl<'a> Exec<'a> {
         self.q.push(posted, Ev::SendPosted(msg));
     }
 
-    fn on_send_posted(&mut self, t: Time, msg: MsgId) {
-        self.msgs[msg.0 as usize].send_posted = Some(t);
-        let eager = self.opts.p2p.is_eager(self.prog.msg(msg).bytes);
-        let intra = self.is_intra(msg);
-        let send_op = self.msgs[msg.0 as usize].send_op.expect("send op");
+    fn on_send_posted(&mut self, cx: &mut Ctx, t: Time, msg: MsgId) {
+        let mi = msg.0 as usize;
+        self.msg_send_posted[mi] = t;
+        let meta = cx.prog.msg(msg);
+        let eager = cx.opts.p2p.is_eager(meta.bytes);
+        let send_op = OpId(self.graph.msg_send_op[mi]);
+        debug_assert_ne!(send_op.0, NONE_U32, "message without a send op");
         if eager {
             // Eager sends complete locally as soon as the bounce copy is done.
             self.q.push(t, Ev::Finish(send_op));
-            if intra {
+            if cx.is_intra(msg) {
                 // Data is visible in shared memory after a flag round at
                 // the level linking the two ranks.
-                let meta = self.prog.msg(msg);
-                let arr = t + self.flag_latency(meta.src, meta.dst);
+                let arr = t + cx.flag_latency(meta.src, meta.dst);
                 self.q.push(arr, Ev::Arrived(msg));
             } else {
                 self.q.push(t, Ev::TxStart(msg));
             }
         } else {
-            self.try_start_rendezvous(msg);
+            self.try_start_rendezvous(cx, msg);
         }
     }
 
-    fn on_recv_ready(&mut self, t: Time, msg: MsgId) {
-        self.msgs[msg.0 as usize].recv_posted = Some(t);
-        let eager = self.opts.p2p.is_eager(self.prog.msg(msg).bytes);
+    fn on_recv_ready(&mut self, cx: &mut Ctx, t: Time, msg: MsgId) {
+        let mi = msg.0 as usize;
+        self.msg_recv_posted[mi] = t;
+        let eager = cx.opts.p2p.is_eager(cx.prog.msg(msg).bytes);
         if eager {
-            if self.msgs[msg.0 as usize].arrived.is_some() {
-                self.complete_recv(t, msg);
+            if self.msg_arrived[mi] != UNSET {
+                self.complete_recv(cx, t, msg);
             }
         } else {
-            self.try_start_rendezvous(msg);
+            self.try_start_rendezvous(cx, msg);
         }
     }
 
     /// Once both sides of a rendezvous are posted, schedule the data phase
     /// after the handshake.
-    fn try_start_rendezvous(&mut self, msg: MsgId) {
-        let st = &self.msgs[msg.0 as usize];
-        let (Some(sp), Some(rp)) = (st.send_posted, st.recv_posted) else {
+    fn try_start_rendezvous(&mut self, cx: &mut Ctx, msg: MsgId) {
+        let mi = msg.0 as usize;
+        let (sp, rp) = (self.msg_send_posted[mi], self.msg_recv_posted[mi]);
+        if sp == UNSET || rp == UNSET {
             return;
-        };
-        let intra = self.is_intra(msg);
-        if intra {
-            let meta = self.prog.msg(msg);
-            let start = sp.max(rp) + self.flag_latency(meta.src, meta.dst);
+        }
+        if cx.is_intra(msg) {
+            let meta = cx.prog.msg(msg);
+            let start = sp.max(rp) + cx.flag_latency(meta.src, meta.dst);
             self.q.push(start, Ev::IntraCopy(msg));
         } else {
             self.q.push(sp.max(rp), Ev::RndvCts(msg));
@@ -589,121 +1174,124 @@ impl<'a> Exec<'a> {
     /// the RTS and reply with the CTS — if it is busy with a shared-memory
     /// copy, the whole transfer is delayed. This is the paper's "ib and sb
     /// share the same CPU resource to progress" effect made concrete.
-    fn on_rndv_cts(&mut self, t: Time, msg: MsgId) {
-        let meta = self.prog.msg(msg);
-        let cpu = self.m.cpu(meta.dst as usize);
-        let (_, e) = self.m.acquire(cpu, t, self.opts.p2p.o_recv);
+    fn on_rndv_cts(&mut self, cx: &mut Ctx, t: Time, msg: MsgId) {
+        let meta = cx.prog.msg(msg);
+        let cpu = cx.m.cpu(meta.dst as usize);
+        let (_, e) = cx.m.acquire(cpu, t, cx.opts.p2p.o_recv);
         self.q
-            .push(e + self.opts.p2p.rndv_handshake, Ev::TxStart(msg));
+            .push(e + cx.opts.p2p.rndv_handshake, Ev::TxStart(msg));
     }
 
-    fn on_tx_start(&mut self, t: Time, msg: MsgId) {
-        let meta = self.prog.msg(msg);
+    fn on_tx_start(&mut self, cx: &mut Ctx, t: Time, msg: MsgId) {
+        let meta = cx.prog.msg(msg);
         let bytes = meta.bytes;
-        let src_node = self.node_of_rank(meta.src);
-        let (txs, txe) = self.acquire_rails(src_node, t, bytes, msg, true);
+        let src_node = cx.node_of_rank(meta.src);
+        let (txs, txe) = cx.acquire_rails(src_node, t, bytes, msg, true);
         // Sender-side DMA read competes for the node memory bus; the DMA
         // engine moves the full payload once regardless of rail striping.
-        let dma = self.m.net.dma_bus_time(bytes, &self.m.node);
-        let bus = self.m.bus(src_node);
-        let (_, dbe) = self.m.acquire(bus, txs, dma);
+        let dma = cx.m.net.dma_bus_time(bytes, &cx.m.node);
+        let bus = cx.m.bus(src_node);
+        let (_, dbe) = cx.m.acquire(bus, txs, dma);
         let mut eff_tx_end = txe.max(dbe);
-        if let Some(core) = self.m.net_core() {
-            let cdur = Time::for_bytes(bytes, self.m.net.core_bw.unwrap());
-            let (_, ce) = self.m.acquire(core, txs, cdur);
+        if let Some(core) = cx.m.net_core() {
+            let cdur = Time::for_bytes(bytes, cx.m.net.core_bw.unwrap());
+            let (_, ce) = cx.m.acquire(core, txs, cdur);
             eff_tx_end = eff_tx_end.max(ce);
         }
-        self.msgs[msg.0 as usize].eff_tx_end = eff_tx_end;
-        if !self.opts.p2p.is_eager(bytes) {
+        self.msg_eff_tx_end[msg.0 as usize] = eff_tx_end;
+        if !cx.opts.p2p.is_eager(bytes) {
             // Rendezvous sends complete when the payload has left the node.
-            let send_op = self.msgs[msg.0 as usize].send_op.expect("send op");
+            let send_op = OpId(self.graph.msg_send_op[msg.0 as usize]);
             self.q.push(eff_tx_end, Ev::Finish(send_op));
         }
         // Cut-through: reception starts one wire latency after transmission.
         self.q
-            .push(txs + self.m.levels.get(0).latency, Ev::RxStart(msg));
+            .push(txs + cx.m.levels.get(0).latency, Ev::RxStart(msg));
     }
 
-    fn on_rx_start(&mut self, t: Time, msg: MsgId) {
-        let meta = self.prog.msg(msg);
+    fn on_rx_start(&mut self, cx: &mut Ctx, t: Time, msg: MsgId) {
+        let meta = cx.prog.msg(msg);
         let bytes = meta.bytes;
-        let dst_node = self.node_of_rank(meta.dst);
-        let (rxs, rxe) = self.acquire_rails(dst_node, t, bytes, msg, false);
+        let dst_node = cx.node_of_rank(meta.dst);
+        let (rxs, rxe) = cx.acquire_rails(dst_node, t, bytes, msg, false);
         // Receiver-side DMA write competes for the node memory bus — the
         // paper's "ib needs to push the data back to memory" effect.
-        let dma = self.m.net.dma_bus_time(bytes, &self.m.node);
-        let bus = self.m.bus(dst_node);
-        let (_, dbe) = self.m.acquire(bus, rxs, dma);
-        let lower_bound = self.msgs[msg.0 as usize].eff_tx_end + self.m.levels.get(0).latency;
+        let dma = cx.m.net.dma_bus_time(bytes, &cx.m.node);
+        let bus = cx.m.bus(dst_node);
+        let (_, dbe) = cx.m.acquire(bus, rxs, dma);
+        let lower_bound = self.msg_eff_tx_end[msg.0 as usize] + cx.m.levels.get(0).latency;
         let arrival = rxe.max(dbe).max(lower_bound);
         self.q.push(arrival, Ev::Arrived(msg));
     }
 
-    fn on_arrived(&mut self, t: Time, msg: MsgId) {
-        self.msgs[msg.0 as usize].arrived = Some(t);
-        if self.msgs[msg.0 as usize].recv_posted.is_some() {
-            self.complete_recv(t, msg);
+    fn on_arrived(&mut self, cx: &mut Ctx, t: Time, msg: MsgId) {
+        let mi = msg.0 as usize;
+        self.msg_arrived[mi] = t;
+        if self.msg_recv_posted[mi] != UNSET {
+            self.complete_recv(cx, t, msg);
         }
     }
 
     /// Receiver-side completion: CPU processing (+ eager copy-out), then
     /// the recv op finishes. Called at `max(arrived, recv_posted)`.
-    fn complete_recv(&mut self, t: Time, msg: MsgId) {
-        let meta = self.prog.msg(msg);
+    fn complete_recv(&mut self, cx: &mut Ctx, t: Time, msg: MsgId) {
+        let meta = cx.prog.msg(msg);
         let bytes = meta.bytes;
         let rank = meta.dst as usize;
-        let node = self.node_of_rank(meta.dst);
-        let eager = self.opts.p2p.is_eager(bytes);
-        let p2p = self.opts.p2p;
+        let node = cx.node_of_rank(meta.dst);
+        let p2p = cx.opts.p2p;
+        let eager = p2p.is_eager(bytes);
         let mut dur = p2p.o_recv;
         if eager {
-            dur += p2p.cpu_byte_time(bytes) + self.m.node.copy_time(bytes);
+            dur += p2p.cpu_byte_time(bytes) + cx.m.node.copy_time(bytes);
         }
-        let cpu = self.m.cpu(rank);
-        let (s, e) = self.m.acquire(cpu, t, dur);
+        let cpu = cx.m.cpu(rank);
+        let (s, e) = cx.m.acquire(cpu, t, dur);
         let fin = if eager && bytes > 0 {
             // The receiver's copy-out reads the sender's bounce buffer:
             // within a node this moves over the level linking the ranks;
             // an inter-node copy-out reads the local NIC bounce buffer
             // (innermost link).
-            let lvl = if self.is_intra(msg) {
-                self.link_level(meta.src, meta.dst)
+            let lvl = if cx.is_intra(msg) {
+                cx.link_level(meta.src, meta.dst)
             } else {
-                self.m.topo.depth() - 1
+                cx.m.topo.depth() - 1
             };
-            let bdur = self.m.levels.get(lvl).xfer_time(bytes);
-            let bus = self.m.bus(node);
-            let (_, be) = self.m.acquire(bus, s, bdur);
+            let bdur = cx.m.levels.get(lvl).xfer_time(bytes);
+            let bus = cx.m.bus(node);
+            let (_, be) = cx.m.acquire(bus, s, bdur);
             e.max(be)
         } else {
             e
         };
-        let recv_op = self.msgs[msg.0 as usize].recv_op.expect("recv op");
+        let recv_op = OpId(self.graph.msg_recv_op[msg.0 as usize]);
+        debug_assert_ne!(recv_op.0, NONE_U32, "message without a recv op");
         self.q.push(fin, Ev::Finish(recv_op));
     }
 
     /// Intra-node rendezvous: a single receiver-side copy through shared
     /// memory (CMA/KNEM-style), after which both ops complete.
-    fn on_intra_copy(&mut self, t: Time, msg: MsgId) {
-        let meta = self.prog.msg(msg);
+    fn on_intra_copy(&mut self, cx: &mut Ctx, t: Time, msg: MsgId) {
+        let meta = cx.prog.msg(msg);
         let bytes = meta.bytes;
         let rank = meta.dst as usize;
-        let node = self.node_of_rank(meta.dst);
-        let cpu = self.m.cpu(rank);
-        let dur = self.opts.p2p.o_recv + self.m.node.copy_time(bytes);
-        let (s, e) = self.m.acquire(cpu, t, dur);
-        let lvl = self.link_level(meta.src, meta.dst);
-        let bdur = self.m.levels.get(lvl).xfer_time(bytes);
-        let bus = self.m.bus(node);
-        let (_, be) = self.m.acquire(bus, s, bdur);
+        let node = cx.node_of_rank(meta.dst);
+        let cpu = cx.m.cpu(rank);
+        let dur = cx.opts.p2p.o_recv + cx.m.node.copy_time(bytes);
+        let (s, e) = cx.m.acquire(cpu, t, dur);
+        let lvl = cx.link_level(meta.src, meta.dst);
+        let bdur = cx.m.levels.get(lvl).xfer_time(bytes);
+        let bus = cx.m.bus(node);
+        let (_, be) = cx.m.acquire(bus, s, bdur);
         let fin = e.max(be);
-        let st = &self.msgs[msg.0 as usize];
-        let (send_op, recv_op) = (st.send_op.expect("send"), st.recv_op.expect("recv"));
+        let mi = msg.0 as usize;
+        let send_op = OpId(self.graph.msg_send_op[mi]);
+        let recv_op = OpId(self.graph.msg_recv_op[mi]);
         self.q.push(fin, Ev::Finish(recv_op));
         self.q.push(fin, Ev::Finish(send_op));
     }
 
-    fn on_finish(&mut self, t: Time, op: OpId) {
+    fn on_finish(&mut self, cx: &mut Ctx, t: Time, op: OpId) {
         let idx = op.0 as usize;
         debug_assert!(!self.done[idx], "op {idx} finished twice");
         self.done[idx] = true;
@@ -711,18 +1299,17 @@ impl<'a> Exec<'a> {
         self.completed += 1;
 
         if self.mem.is_some() {
-            self.apply_data(op);
+            self.apply_data(cx, op);
         }
 
-        let rank = self.prog.ops[idx].rank;
-        let node = self.node_of_rank(rank);
+        let rank = self.graph.op_rank[idx];
         let (lo, hi) = (
-            self.child_off[idx] as usize,
-            self.child_off[idx + 1] as usize,
+            self.graph.child_off[idx] as usize,
+            self.graph.child_off[idx + 1] as usize,
         );
         for ci in lo..hi {
-            let c = self.child[ci] as usize;
-            let crank = self.prog.ops[c].rank;
+            let c = self.graph.child[ci] as usize;
+            let crank = self.graph.op_rank[c];
             // Cross-rank dependencies model shared-memory flags and cost a
             // coherence round trip; cross-node dependencies must be
             // expressed as messages.
@@ -730,22 +1317,23 @@ impl<'a> Exec<'a> {
                 Time::ZERO
             } else {
                 debug_assert_eq!(
-                    self.node_of_rank(crank),
-                    node,
+                    cx.node_of_rank(crank),
+                    cx.node_of_rank(rank),
                     "cross-node dependency {rank}->{crank}; use send/recv"
                 );
-                self.flag_latency(rank, crank)
+                cx.flag_latency(rank, crank)
             };
             self.ready_at[c] = self.ready_at[c].max(t + extra);
             self.indeg[c] -= 1;
             if self.indeg[c] == 0 {
-                self.q.push(self.ready_at[c], Ev::Ready(OpId(c as u32)));
+                let at = self.ready_at[c];
+                self.q.push(at, Ev::Ready(OpId(c as u32)));
             }
         }
     }
 
-    fn apply_data(&mut self, op: OpId) {
-        let o = &self.prog.ops[op.0 as usize];
+    fn apply_data(&mut self, cx: &Ctx, op: OpId) {
+        let o = &cx.prog.ops[op.0 as usize];
         let mem = self.mem.as_mut().unwrap();
         let rank = o.rank as usize;
         match &o.kind {
@@ -789,9 +1377,9 @@ impl<'a> Exec<'a> {
                 }
             }
             OpKind::Recv { msg } => {
-                let meta = self.prog.msg(*msg);
+                let meta = cx.prog.msg(*msg);
                 if let Some(dbuf) = meta.dbuf {
-                    if let Some(payload) = self.msgs[msg.0 as usize].payload.take() {
+                    if let Some(payload) = self.msg_payload[msg.0 as usize].take() {
                         mem.write(rank, dbuf, &payload);
                         self.payload_pool.push(payload);
                     }
@@ -809,21 +1397,6 @@ fn unsafe_mut_range(mem: &mut Memory, rank: usize, r: crate::buffer::BufRange) -
     // only live mutable borrow.
     let ptr = mem.read(rank, r).as_ptr() as *mut u8;
     unsafe { std::slice::from_raw_parts_mut(ptr, r.len as usize) }
-}
-
-/// Execute with a closure that seeds initial memory contents (testing and
-/// correctness harnesses).
-pub fn execute_seeded(
-    machine: &mut Machine,
-    prog: &Program,
-    opts: &ExecOpts,
-    seed: impl FnOnce(&mut Memory),
-) -> (Report, Memory) {
-    assert!(opts.is_full(), "execute_seeded requires ExecMode::Full");
-    let mut mem = Memory::new(&prog.mem_size);
-    seed(&mut mem);
-    let (report, mem) = run_inner(machine, prog, opts, Some(mem));
-    (report, mem.expect("data mode produces memory"))
 }
 
 #[cfg(test)]
@@ -1217,5 +1790,194 @@ mod tests {
         };
         let delta = run(&gpu) - run(&base);
         assert_eq!(delta, launch, "one Copy pays exactly one launch");
+    }
+
+    // ---- Executor core v3: reuse and delta re-simulation ----
+
+    #[test]
+    fn executor_reuse_across_programs_matches_fresh_execute() {
+        let mut ex = Executor::new();
+        let mut m = machine(2, 2);
+        let mut b = ProgramBuilder::new(4);
+        b.send_recv(0, 1, 4096, None, None, &[], &[]);
+        b.send_recv(0, 2, 1 << 20, None, None, &[], &[]);
+        let pa = b.build();
+        let mut b = ProgramBuilder::new(4);
+        let a = b.delay(0, Time::from_us(1), &[]);
+        b.nop(1, &[a]);
+        let pb = b.build();
+        // Alternate structures so the cached CSR is rebuilt and re-hit.
+        for p in [&pa, &pb, &pa, &pb] {
+            let r1 = ex.execute(&mut m, p, &opts());
+            let r2 = execute(&mut m, p, &opts());
+            assert_eq!(r1.makespan, r2.makespan);
+            assert_eq!(r1.op_finishes(), r2.op_finishes());
+            assert_eq!(r1.rank_finish, r2.rank_finish);
+            assert_eq!(r1.events, r2.events);
+        }
+    }
+
+    #[test]
+    fn delta_identical_program_returns_recorded_report() {
+        let mut ex = Executor::new();
+        let mut m = machine(2, 1);
+        let mut b = ProgramBuilder::new(2);
+        b.send_recv(0, 1, 1 << 20, None, None, &[], &[]);
+        let p = b.build();
+        let rec = ex.run_recorded(&mut m, &p, &opts());
+        let r = ex
+            .run_delta(&mut m, &p.clone(), &opts(), &rec)
+            .expect("identical program is always a delta hit");
+        assert_eq!(r.makespan, rec.report().makespan);
+        assert_eq!(r.op_finishes(), rec.report().op_finishes());
+        assert_eq!(r.events, rec.report().events);
+    }
+
+    /// A checkpoint-free trace still serves exact-match replay; a
+    /// scalar-divergent replay finds no checkpoint and returns `None`.
+    #[test]
+    fn traced_recording_serves_exact_match_only() {
+        let build = |tail_us: u64| {
+            let mut b = ProgramBuilder::new(1);
+            let mut prev = None;
+            for _ in 0..300u64 {
+                let deps: Vec<_> = prev.into_iter().collect();
+                prev = Some(b.delay(0, Time::from_ns(100), &deps));
+            }
+            b.delay(
+                0,
+                Time::from_us(tail_us),
+                &prev.into_iter().collect::<Vec<_>>(),
+            );
+            b.build()
+        };
+        let mut ex = Executor::new();
+        let mut m = machine(1, 1);
+        let rec = ex.run_traced(&mut m, &build(1), &opts());
+        assert_eq!(rec.checkpoint_count(), 0, "trace takes no checkpoints");
+        let exact = ex
+            .run_delta(&mut m, &build(1), &opts(), &rec)
+            .expect("identical program replays against a trace");
+        assert_eq!(exact.makespan, rec.report().makespan);
+        assert!(
+            ex.run_delta(&mut m, &build(2), &opts(), &rec).is_none(),
+            "partial replay needs checkpoints"
+        );
+    }
+
+    /// A long single-rank delay chain with one op's duration changed near
+    /// the end: divergence lands far past several checkpoints, so delta
+    /// replay restores mid-run and must still be bit-identical.
+    #[test]
+    fn delta_partial_replay_is_bit_identical() {
+        let build = |tail_us: u64| {
+            let mut b = ProgramBuilder::new(2);
+            let mut prev = None;
+            for i in 0..1200u64 {
+                let deps: Vec<_> = prev.into_iter().collect();
+                let dur = if i == 1100 {
+                    Time::from_us(tail_us)
+                } else {
+                    Time::from_ns(100)
+                };
+                prev = Some(b.delay(0, dur, &deps));
+            }
+            b.delay(1, Time::from_us(3), &[]);
+            b.build()
+        };
+        let mut ex = Executor::new();
+        let mut m = machine(1, 2);
+        let rec = ex.run_recorded(&mut m, &build(1), &opts());
+        assert!(rec.checkpoint_count() > 0, "long run must checkpoint");
+        let changed = build(9);
+        let delta = ex
+            .run_delta(&mut m, &changed, &opts(), &rec)
+            .expect("late divergence should find a usable checkpoint");
+        let full = execute(&mut m, &changed, &opts());
+        assert_eq!(delta.makespan, full.makespan);
+        assert_eq!(delta.op_finishes(), full.op_finishes());
+        assert_eq!(delta.rank_finish, full.rank_finish);
+        assert_eq!(delta.events, full.events);
+    }
+
+    /// Changing a message's byte count re-times the whole P2P chain; the
+    /// endpoints become ready only after long per-rank prefixes, so delta
+    /// replay restores a checkpoint and re-simulates just the transfer.
+    #[test]
+    fn delta_message_scalar_change_is_bit_identical() {
+        let build = |bytes: u64| {
+            let mut b = ProgramBuilder::new(2);
+            let mut p0 = None;
+            for _ in 0..400 {
+                let deps: Vec<_> = p0.into_iter().collect();
+                p0 = Some(b.delay(0, Time::from_ns(50), &deps));
+            }
+            let mut p1 = None;
+            for _ in 0..400 {
+                let deps: Vec<_> = p1.into_iter().collect();
+                p1 = Some(b.delay(1, Time::from_ns(50), &deps));
+            }
+            b.send_recv(0, 1, bytes, None, None, &[p0.unwrap()], &[p1.unwrap()]);
+            b.build()
+        };
+        let mut ex = Executor::new();
+        let mut m = machine(2, 1);
+        let rec = ex.run_recorded(&mut m, &build(1 << 20), &opts());
+        // Crossing the eager/rendezvous boundary changes the event chain
+        // itself; the suffix re-simulation must produce the new chain.
+        for bytes in [2 << 20, 512] {
+            let changed = build(bytes);
+            let delta = ex
+                .run_delta(&mut m, &changed, &opts(), &rec)
+                .expect("endpoints ready late: checkpoint available");
+            let full = execute(&mut m, &changed, &opts());
+            assert_eq!(delta.makespan, full.makespan);
+            assert_eq!(delta.op_finishes(), full.op_finishes());
+            assert_eq!(delta.events, full.events);
+        }
+    }
+
+    #[test]
+    fn delta_early_divergence_without_checkpoint_falls_back() {
+        let build = |first_us: u64| {
+            let mut b = ProgramBuilder::new(1);
+            let mut prev = None;
+            for i in 0..600u64 {
+                let deps: Vec<_> = prev.into_iter().collect();
+                let dur = if i == 0 {
+                    Time::from_us(first_us)
+                } else {
+                    Time::from_ns(10)
+                };
+                prev = Some(b.delay(0, dur, &deps));
+            }
+            b.build()
+        };
+        let mut ex = Executor::new();
+        let mut m = machine(1, 1);
+        let rec = ex.run_recorded(&mut m, &build(1), &opts());
+        // Divergence at pop 0 precedes every checkpoint: caller must fall
+        // back to a full run.
+        assert!(ex.run_delta(&mut m, &build(2), &opts(), &rec).is_none());
+    }
+
+    #[test]
+    fn delta_rejects_structural_mismatch_and_skew() {
+        let mut ex = Executor::new();
+        let mut m = machine(1, 2);
+        let mut b = ProgramBuilder::new(2);
+        let a = b.delay(0, Time::from_us(1), &[]);
+        b.nop(1, &[a]);
+        let p = b.build();
+        let rec = ex.run_recorded(&mut m, &p, &opts());
+        // Different DAG structure.
+        let mut b = ProgramBuilder::new(2);
+        b.delay(0, Time::from_us(1), &[]);
+        b.nop(1, &[]);
+        let other = b.build();
+        assert!(ex.run_delta(&mut m, &other, &opts(), &rec).is_none());
+        // Start skew is outside the recorded state space.
+        let skew = opts().with_skew(vec![Time::ZERO, Time::ZERO]);
+        assert!(ex.run_delta(&mut m, &p, &skew, &rec).is_none());
     }
 }

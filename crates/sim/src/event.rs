@@ -16,9 +16,26 @@
 //! ("migration") when the ring is empty, re-anchoring the ring base; every
 //! far event then lives in a bucket at or beyond the new base, so far
 //! events are never earlier than near ones.
+//!
+//! Node storage is struct-of-arrays (`at` / `next` / `slot` indexed by a
+//! `u32` arena id); near nodes carry no sequence number at all because
+//! bucket append order *is* sequence order — only the far heap keeps
+//! explicit sequences in its tuples. Pops are batch-drained: one pass over
+//! the first occupied bucket extracts every event sharing the minimal
+//! timestamp, and subsequent pops serve from that batch in O(1) without
+//! touching the bitmap or bucket lists.
+//!
+//! Pushes at exactly the current timestamp — the dominant pattern in
+//! dependency-driven programs, where finishing one op readies the next at
+//! the same instant — append straight onto the live batch: a refill takes
+//! *every* pending event at the minimum timestamp with it, so nothing at
+//! `now` remains in the buckets or the far heap, and an appended event's
+//! sequence number is by construction larger than everything already in
+//! the batch. The append is therefore exact FIFO order at O(1), skipping
+//! node allocation, the bucket list and the next bitmap scan entirely.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::Time;
 
@@ -42,24 +59,24 @@ pub struct EngineStats {
     pub clamped: u64,
     /// High-water mark of pending events.
     pub max_depth: u64,
+    /// Pops served from a same-timestamp batch beyond its first event,
+    /// i.e. pops that skipped the bitmap scan and bucket walk entirely.
+    pub batched_pops: u64,
+    /// Largest same-timestamp batch drained in one bucket pass.
+    pub max_batch: u64,
 }
 
 impl EngineStats {
-    /// Accumulate another engine's counters (max-merges `max_depth`).
+    /// Accumulate another engine's counters (max-merges the high-water
+    /// marks `max_depth` and `max_batch`).
     pub fn merge(&mut self, other: &EngineStats) {
         self.pushes += other.pushes;
         self.pops += other.pops;
         self.clamped += other.clamped;
         self.max_depth = self.max_depth.max(other.max_depth);
+        self.batched_pops += other.batched_pops;
+        self.max_batch = self.max_batch.max(other.max_batch);
     }
-}
-
-#[derive(Debug)]
-struct Node<E> {
-    at: Time,
-    seq: u64,
-    next: u32,
-    payload: Option<E>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -76,21 +93,63 @@ const EMPTY_BUCKET: Bucket = Bucket {
     min_at: Time::ZERO,
 };
 
+/// A frozen copy of a queue's pending events in exact pop order, plus the
+/// clock and counters needed to continue a run from this point. Taken by
+/// [`EventQueue::snapshot`] and replayed by [`EventQueue::restore`]; the
+/// delta re-simulation checkpoints in `han-mpi` are built on this.
+#[derive(Debug, Clone)]
+pub struct QueueSnapshot<E> {
+    now: Time,
+    stats: EngineStats,
+    /// Pending `(time, payload)` pairs, sorted by pop order.
+    events: Vec<(Time, E)>,
+}
+
+impl<E> QueueSnapshot<E> {
+    /// Number of pending events captured.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
 /// An event queue over payloads of type `E`.
+///
+/// Node state lives in parallel arrays indexed by `u32` arena slot; freed
+/// slots are threaded through `next` as a free list, so steady-state churn
+/// allocates nothing. [`EventQueue::reset`] rewinds the queue for reuse
+/// across simulations while keeping every allocation.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    arena: Vec<Node<E>>,
+    /// Timestamp of each arena slot (SoA with `next` / `slot`).
+    at: Vec<Time>,
+    /// Intrusive bucket list / free list link of each arena slot.
+    next: Vec<u32>,
+    /// Payload of each arena slot (`None` while on the free list).
+    slot: Vec<Option<E>>,
     free: u32,
     buckets: Vec<Bucket>,
     occ: [u64; OCC_WORDS],
     /// Bucket index (absolute, `time >> BUCKET_SHIFT`) of ring slot 0.
     base: u64,
     near_len: usize,
+    /// Lower bound on the first occupied ring slot. Pushes never land
+    /// before `now`, so after a drain at slot `r` the next occupied slot is
+    /// `>= r` until a migration or empty-queue re-anchor resets the ring;
+    /// the bitmap scan starts here instead of word 0.
+    cursor: usize,
     /// Far-future overflow: min-heap on `(time, seq)`; the `u32` is the
     /// arena slot holding the payload.
     far: BinaryHeap<Reverse<(Time, u64, u32)>>,
     seq: u64,
     now: Time,
+    /// Same-timestamp batch being served, in pop order (front to back).
+    /// All events are at `batch_at`; pushes at `now` append at the back.
+    batch: VecDeque<E>,
+    batch_at: Time,
     stats: EngineStats,
 }
 
@@ -103,70 +162,98 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
-            arena: Vec::new(),
+            at: Vec::new(),
+            next: Vec::new(),
+            slot: Vec::new(),
             free: NIL,
             buckets: vec![EMPTY_BUCKET; NBUCKETS],
             occ: [0; OCC_WORDS],
             base: 0,
             near_len: 0,
+            cursor: NBUCKETS,
             far: BinaryHeap::new(),
             seq: 0,
             now: Time::ZERO,
+            batch: VecDeque::new(),
+            batch_at: Time::ZERO,
             stats: EngineStats::default(),
         }
     }
 
-    fn alloc(&mut self, at: Time, seq: u64, payload: E) -> u32 {
-        if self.free != NIL {
-            let i = self.free;
-            let n = &mut self.arena[i as usize];
-            self.free = n.next;
-            n.at = at;
-            n.seq = seq;
-            n.next = NIL;
-            n.payload = Some(payload);
-            i
-        } else {
-            self.arena.push(Node {
-                at,
-                seq,
-                next: NIL,
-                payload: Some(payload),
-            });
-            (self.arena.len() - 1) as u32
+    /// Rewind to the just-constructed state while keeping every arena,
+    /// bucket and batch allocation — the per-worker "bump arena" pattern:
+    /// one queue per thread, `reset()` between simulations. When the queue
+    /// already drained to empty (the normal end of a run) this touches no
+    /// bucket memory at all.
+    pub fn reset(&mut self) {
+        if self.near_len > 0 {
+            let mut w = 0;
+            while w < OCC_WORDS {
+                let mut bits = self.occ[w];
+                while bits != 0 {
+                    let r = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.buckets[r] = EMPTY_BUCKET;
+                }
+                self.occ[w] = 0;
+                w += 1;
+            }
+            self.near_len = 0;
         }
+        self.at.clear();
+        self.next.clear();
+        self.slot.clear();
+        self.free = NIL;
+        self.base = 0;
+        self.cursor = NBUCKETS;
+        self.far.clear();
+        self.seq = 0;
+        self.now = Time::ZERO;
+        self.batch.clear();
+        self.stats = EngineStats::default();
     }
 
-    fn release(&mut self, i: u32) -> E {
-        let n = &mut self.arena[i as usize];
-        let payload = n.payload.take().expect("node already released");
-        n.next = self.free;
-        self.free = i;
-        payload
+    fn alloc(&mut self, at: Time, payload: E) -> u32 {
+        if self.free != NIL {
+            let i = self.free;
+            self.free = self.next[i as usize];
+            self.at[i as usize] = at;
+            self.next[i as usize] = NIL;
+            self.slot[i as usize] = Some(payload);
+            i
+        } else {
+            self.at.push(at);
+            self.next.push(NIL);
+            self.slot.push(Some(payload));
+            (self.at.len() - 1) as u32
+        }
     }
 
     /// Append an arena node to ring slot `r`, maintaining append order and
     /// the bucket's exact minimum.
     fn bucket_append(&mut self, r: usize, i: u32) {
-        let at = self.arena[i as usize].at;
+        let at = self.at[i as usize];
         let b = &mut self.buckets[r];
         if b.head == NIL {
             b.head = i;
             b.tail = i;
             b.min_at = at;
             self.occ[r / 64] |= 1u64 << (r % 64);
+            self.cursor = self.cursor.min(r);
         } else {
             let t = b.tail;
             b.tail = i;
             b.min_at = b.min_at.min(at);
-            self.arena[t as usize].next = i;
+            self.next[t as usize] = i;
         }
         self.near_len += 1;
     }
 
-    /// Slot of the first occupied bucket, if any.
+    /// Slot of the first occupied bucket, if any. Starts the bitmap scan
+    /// at the monotone cursor (no occupied slot can be below it).
     fn first_occupied(&self) -> Option<usize> {
-        for (w, &bits) in self.occ.iter().enumerate() {
+        for w in self.cursor / 64..OCC_WORDS {
+            let bits = self.occ[w];
             if bits != 0 {
                 return Some(w * 64 + bits.trailing_zeros() as usize);
             }
@@ -174,50 +261,62 @@ impl<E> EventQueue<E> {
         None
     }
 
-    /// Remove and return the `(time, seq)`-minimal node of bucket `r`.
-    ///
-    /// The list is in stable append order, so among nodes sharing the
-    /// minimal timestamp the first one found is the lowest-sequence one.
-    fn bucket_pop_min(&mut self, r: usize) -> u32 {
+    /// Refill the batch from the first occupied bucket: one pass over its
+    /// list moves *every* node carrying the bucket minimum into the batch
+    /// (in FIFO append order), relinks the rest in place, and recomputes
+    /// the remainder's exact minimum. Returns `false` when the queue is
+    /// exhausted.
+    fn refill_batch(&mut self) -> bool {
+        debug_assert!(self.batch.is_empty());
+        if self.near_len == 0 {
+            self.migrate();
+        }
+        let Some(r) = self.first_occupied() else {
+            return false;
+        };
+        self.cursor = r;
         let min_at = self.buckets[r].min_at;
-        // Find the first node carrying the bucket minimum.
-        let mut prev = NIL;
+        let mut head = NIL;
+        let mut tail = NIL;
+        let mut rest_min = Time::MAX;
         let mut cur = self.buckets[r].head;
-        while self.arena[cur as usize].at != min_at {
-            prev = cur;
-            cur = self.arena[cur as usize].next;
+        let mut k = 0u64;
+        while cur != NIL {
+            let i = cur as usize;
+            let nxt = self.next[i];
+            if self.at[i] == min_at {
+                let payload = self.slot[i].take().expect("node already released");
+                self.batch.push_back(payload);
+                self.next[i] = self.free;
+                self.free = cur;
+                k += 1;
+            } else {
+                rest_min = rest_min.min(self.at[i]);
+                if head == NIL {
+                    head = cur;
+                } else {
+                    self.next[tail as usize] = cur;
+                }
+                tail = cur;
+            }
+            cur = nxt;
         }
-        // Unlink it.
-        let next = self.arena[cur as usize].next;
-        if prev == NIL {
-            self.buckets[r].head = next;
-        } else {
-            self.arena[prev as usize].next = next;
-        }
-        if next == NIL {
-            self.buckets[r].tail = prev;
-        }
-        self.near_len -= 1;
-        // Recompute the bucket minimum; stop early on an equal timestamp
-        // (nothing in the bucket can be below the old minimum).
-        if self.buckets[r].head == NIL {
+        self.near_len -= k as usize;
+        if head == NIL {
             self.buckets[r] = EMPTY_BUCKET;
             self.occ[r / 64] &= !(1u64 << (r % 64));
         } else {
-            let mut m = Time::MAX;
-            let mut i = self.buckets[r].head;
-            while i != NIL {
-                let at = self.arena[i as usize].at;
-                if at == min_at {
-                    m = at;
-                    break;
-                }
-                m = m.min(at);
-                i = self.arena[i as usize].next;
-            }
-            self.buckets[r].min_at = m;
+            self.next[tail as usize] = NIL;
+            self.buckets[r] = Bucket {
+                head,
+                tail,
+                min_at: rest_min,
+            };
         }
-        cur
+        self.batch_at = min_at;
+        self.stats.batched_pops += k - 1;
+        self.stats.max_batch = self.stats.max_batch.max(k);
+        true
     }
 
     /// Drain every far-heap event that now fits the ring, re-anchoring the
@@ -230,6 +329,7 @@ impl<E> EventQueue<E> {
             return;
         };
         self.base = t.as_ps() >> BUCKET_SHIFT;
+        self.cursor = NBUCKETS;
         let horizon = self.base + NBUCKETS as u64;
         while let Some(&Reverse((t, _, i))) = self.far.peek() {
             let b = t.as_ps() >> BUCKET_SHIFT;
@@ -258,17 +358,39 @@ impl<E> EventQueue<E> {
         } else {
             at
         };
+        self.stats.pushes += 1;
+        if at == self.now {
+            // Same-instant fast path: nothing at `now` can remain outside
+            // the batch (a refill takes every minimal-timestamp event with
+            // it, later buckets and the far heap hold strictly later
+            // times), and this push's sequence number exceeds everything
+            // already batched — appending IS exact (time, seq) FIFO order.
+            self.batch_at = at;
+            self.batch.push_back(payload);
+        } else {
+            self.push_inner(at, payload);
+        }
+        // Every push adds one pending event and every pop removes one, so
+        // `pushes - pops` IS the current depth — no need to recount.
+        let depth = self.stats.pushes - self.stats.pops;
+        if depth > self.stats.max_depth {
+            self.stats.max_depth = depth;
+        }
+    }
+
+    /// Insert without stats accounting (shared by `push` and `restore`).
+    fn push_inner(&mut self, at: Time, payload: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.stats.pushes += 1;
         if self.near_len == 0 && self.far.is_empty() {
             // Queue is empty: re-anchor the ring so the event lands near
             // slot 0 and the ring window stays useful as time advances.
             self.base = at.as_ps() >> BUCKET_SHIFT;
+            self.cursor = NBUCKETS;
         }
         let b = at.as_ps() >> BUCKET_SHIFT;
         if b >= self.base + NBUCKETS as u64 {
-            let i = self.alloc(at, seq, payload);
+            let i = self.alloc(at, payload);
             self.far.push(Reverse((at, seq, i)));
         } else {
             // `b < base` can only happen transiently right after a far
@@ -276,21 +398,18 @@ impl<E> EventQueue<E> {
             // clock; slot 0 is still the earliest bucket, and its exact
             // `min_at` keeps ordering correct.
             let r = b.saturating_sub(self.base) as usize;
-            let i = self.alloc(at, seq, payload);
+            let i = self.alloc(at, payload);
             self.bucket_append(r, i);
         }
-        self.stats.max_depth = self.stats.max_depth.max(self.len() as u64);
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        if self.near_len == 0 {
-            self.migrate();
+        if self.batch.is_empty() && !self.refill_batch() {
+            return None;
         }
-        let r = self.first_occupied()?;
-        let i = self.bucket_pop_min(r);
-        let at = self.arena[i as usize].at;
-        let payload = self.release(i);
+        let payload = self.batch.pop_front().expect("batch refilled");
+        let at = self.batch_at;
         debug_assert!(at >= self.now, "event queue went backwards");
         self.now = at;
         self.stats.pops += 1;
@@ -299,7 +418,11 @@ impl<E> EventQueue<E> {
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Time> {
-        if self.near_len > 0 {
+        if !self.batch.is_empty() {
+            // The batch holds the globally minimal timestamp: everything
+            // pushed since the drain is at or after `now == batch_at`.
+            Some(self.batch_at)
+        } else if self.near_len > 0 {
             // Buckets partition time: the first occupied bucket holds the
             // global near minimum, and (ring empty ⇒ migration) far events
             // are never earlier than near ones.
@@ -316,11 +439,11 @@ impl<E> EventQueue<E> {
     }
 
     pub fn is_empty(&self) -> bool {
-        self.near_len == 0 && self.far.is_empty()
+        self.batch.is_empty() && self.near_len == 0 && self.far.is_empty()
     }
 
     pub fn len(&self) -> usize {
-        self.near_len + self.far.len()
+        self.batch.len() + self.near_len + self.far.len()
     }
 
     /// Total number of events processed so far (engine statistic).
@@ -331,6 +454,79 @@ impl<E> EventQueue<E> {
     /// Lifetime engine counters.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+}
+
+impl<E: Clone> EventQueue<E> {
+    /// Freeze the pending events (in exact pop order), clock and counters.
+    /// `restore` of the snapshot on any queue — including this one, later —
+    /// reproduces bit-identical pop behaviour from this point on.
+    pub fn snapshot(&self) -> QueueSnapshot<E> {
+        let mut events: Vec<(Time, E)> = Vec::with_capacity(self.len());
+        // Batch remainder first, already in pop order; same-instant pushes
+        // appended to it are included in their correct FIFO position.
+        for e in self.batch.iter() {
+            events.push((self.batch_at, e.clone()));
+        }
+        let batch_rem = events.len();
+        // Near events in bucket traversal order, then a stable sort by
+        // time. Equal-time events always share a bucket and sit in its list
+        // in sequence order, so the stable sort yields exact pop order
+        // (and keeps the batch remainder ahead of equal-time newcomers).
+        for w in 0..OCC_WORDS {
+            let mut bits = self.occ[w];
+            while bits != 0 {
+                let r = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let mut cur = self.buckets[r].head;
+                while cur != NIL {
+                    let i = cur as usize;
+                    let payload = self.slot[i].clone().expect("live node");
+                    events.push((self.at[i], payload));
+                    cur = self.next[i];
+                }
+            }
+        }
+        events[batch_rem..].sort_by_key(|&(t, _)| t);
+        if !self.batch.is_empty() && events.len() > batch_rem {
+            debug_assert!(events[batch_rem].0 >= self.batch_at);
+        }
+        // Far events are never earlier than near ones; sort by (time, seq)
+        // and append.
+        let mut far: Vec<&Reverse<(Time, u64, u32)>> = self.far.iter().collect();
+        far.sort_by_key(|&&Reverse((t, s, _))| (t, s));
+        for &&Reverse((t, _, i)) in &far {
+            events.push((t, self.slot[i as usize].clone().expect("live node")));
+        }
+        QueueSnapshot {
+            now: self.now,
+            stats: self.stats,
+            events,
+        }
+    }
+
+    /// Replace this queue's entire state with a snapshot's. Pending events
+    /// are re-inserted in pop order (their relative sequence order — the
+    /// only thing FIFO tie-breaking observes — is preserved), the clock and
+    /// counters are restored, and subsequent pushes order after them
+    /// exactly as they would have in the original run.
+    pub fn restore(&mut self, snap: &QueueSnapshot<E>) {
+        self.reset();
+        self.now = snap.now;
+        // Events at `snap.now` must land in the live batch, not a bucket:
+        // the same-instant push fast path appends to the batch, so a
+        // bucketed event at `now` would be drained *after* every later
+        // fast-path push, breaking FIFO. The snapshot lists the batch
+        // remainder first (all at `snap.now`), so appending preserves order.
+        for (t, e) in &snap.events {
+            if *t == snap.now {
+                self.batch_at = snap.now;
+                self.batch.push_back(e.clone());
+            } else {
+                self.push_inner(*t, e.clone());
+            }
+        }
+        self.stats = snap.stats;
     }
 }
 
@@ -382,6 +578,21 @@ mod tests {
         assert_eq!(q.now(), Time::ZERO);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_sees_batch_remainder() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ns(3);
+        q.push(t, 0);
+        q.push(t, 1);
+        assert_eq!(q.pop(), Some((t, 0)));
+        // One event is still batched; peek/len must reflect it.
+        assert_eq!(q.peek_time(), Some(t));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert!(q.is_empty());
     }
 
     /// Reference check: the calendar queue must pop in exactly the
@@ -458,7 +669,7 @@ mod tests {
 
     #[test]
     fn same_time_flood_within_one_bucket() {
-        // Large same-timestamp bursts exercise the O(1) head-pop path.
+        // Large same-timestamp bursts exercise the batch-drain path.
         let mut q = EventQueue::new();
         let t = Time::from_ps(12345);
         for i in 0..1000 {
@@ -471,6 +682,23 @@ mod tests {
         let mut expect: Vec<i32> = vec![5000];
         expect.extend(0..1000);
         assert_eq!(order, expect);
+        // The flood drained as one 1000-event batch (999 batched pops).
+        assert_eq!(q.stats().max_batch, 1000);
+        assert_eq!(q.stats().batched_pops, 999);
+    }
+
+    #[test]
+    fn same_time_push_during_batch_drain_orders_after() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ns(4);
+        q.push(t, 0);
+        q.push(t, 1);
+        assert_eq!(q.pop(), Some((t, 0)));
+        // Pushed while event 1 is still batched: must pop after it.
+        q.push(t, 2);
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 2)));
+        assert!(q.is_empty());
     }
 
     #[test]
@@ -512,7 +740,75 @@ mod tests {
             while q.pop().is_some() {}
         }
         // Steady-state churn must not grow the arena past the peak depth.
-        assert!(q.arena.len() <= 8, "arena grew to {}", q.arena.len());
+        assert!(q.at.len() <= 8, "arena grew to {}", q.at.len());
+    }
+
+    #[test]
+    fn reset_rewinds_but_keeps_capacity() {
+        let mut q = EventQueue::new();
+        for i in 0..100u64 {
+            q.push(Time::from_ns(i), i);
+        }
+        for _ in 0..40 {
+            q.pop();
+        }
+        let cap = q.at.capacity();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), Time::ZERO);
+        assert_eq!(q.stats(), EngineStats::default());
+        assert_eq!(q.at.capacity(), cap);
+        // The queue behaves exactly like a fresh one.
+        q.push(Time::from_ns(2), 200u64);
+        q.push(Time::from_ns(1), 100u64);
+        assert_eq!(q.pop(), Some((Time::from_ns(1), 100)));
+        assert_eq!(q.pop(), Some((Time::from_ns(2), 200)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_is_pop_identical() {
+        let w = 1u64 << BUCKET_SHIFT;
+        let ring = NBUCKETS as u64 * w;
+        // Mixed near/far/same-time state, including a half-served batch.
+        let times = [5, 5, 5, 12, w + 3, 2 * ring + 7, 2 * ring + 7, 12];
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Time::from_ps(t), i);
+        }
+        assert_eq!(q.pop().unwrap().1, 0); // leaves 1, 2 batched
+        let snap = q.snapshot();
+        assert_eq!(snap.len(), q.len());
+        let drain = |q: &mut EventQueue<usize>| -> Vec<(u64, usize)> {
+            std::iter::from_fn(|| q.pop())
+                .map(|(t, p)| (t.as_ps(), p))
+                .collect()
+        };
+        let original = drain(&mut q);
+        let mut r = EventQueue::new();
+        r.restore(&snap);
+        assert_eq!(drain(&mut r), original);
+        // Restoring onto the drained original queue works too.
+        q.restore(&snap);
+        assert_eq!(drain(&mut q), original);
+    }
+
+    #[test]
+    fn restore_preserves_ordering_against_new_pushes() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ns(9);
+        q.push(t, 0);
+        q.push(t, 1);
+        q.pop();
+        let snap = q.snapshot();
+        let mut r = EventQueue::new();
+        r.restore(&snap);
+        assert_eq!(r.now(), t);
+        assert_eq!(r.stats(), q.stats());
+        // A push after restore orders behind the restored equal-time event.
+        r.push(t, 2);
+        assert_eq!(r.pop(), Some((t, 1)));
+        assert_eq!(r.pop(), Some((t, 2)));
     }
 
     #[test]
@@ -522,12 +818,16 @@ mod tests {
             pops: 2,
             clamped: 1,
             max_depth: 5,
+            batched_pops: 1,
+            max_batch: 4,
         };
         let mut b = EngineStats {
             pushes: 10,
             pops: 10,
             clamped: 0,
             max_depth: 2,
+            batched_pops: 6,
+            max_batch: 2,
         };
         b.merge(&a);
         assert_eq!(
@@ -537,6 +837,8 @@ mod tests {
                 pops: 12,
                 clamped: 1,
                 max_depth: 5,
+                batched_pops: 7,
+                max_batch: 4,
             }
         );
     }

@@ -100,12 +100,82 @@ fn run_against_reference(ops: &[(u64, u64)], past_pushes: bool) {
     assert_eq!(stats.clamped, expect_clamped);
 }
 
+/// Burst generator: interleave same-timestamp bursts (the batch-drain
+/// fast path pops these without re-probing the calendar) with single
+/// pushes at fresh times and pops. `(kind, burst_len, off)` per op.
+fn arb_burst_ops() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    proptest::collection::vec((0u64..8, 1u64..32, 0u64..4 * BUCKET_W), 1..200)
+}
+
+/// Same-timestamp bursts must pop in exact push (seq) order even when the
+/// batch-drain path serves them from a cached bucket slice, and the
+/// `batched_pops`/`max_batch` counters must account for every burst.
+fn run_bursts_against_reference(ops: &[(u64, u64, u64)]) {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut model = Model::default();
+    for &(kind, burst, off) in ops {
+        match kind {
+            // A burst of events sharing one timestamp, possibly at the
+            // current clock (drainable immediately), possibly ahead.
+            0..=3 => {
+                let at = model.now + off % (2 * BUCKET_W);
+                for _ in 0..burst {
+                    q.push(Time::from_ps(at), model.seq);
+                    model.push(at);
+                }
+            }
+            // A single event at a fresh time, splitting bursts.
+            4..=5 => {
+                let at = model.now + off;
+                q.push(Time::from_ps(at), model.seq);
+                model.push(at);
+            }
+            // Pop a whole burst's worth, crossing batch boundaries.
+            _ => {
+                for _ in 0..burst {
+                    let got = q.pop();
+                    let want = model.pop();
+                    assert_eq!(
+                        got.map(|(t, p)| (t.as_ps(), p)),
+                        want,
+                        "burst pop diverged from reference"
+                    );
+                }
+            }
+        }
+    }
+    while let Some(want) = model.pop() {
+        let (t, p) = q.pop().expect("queue drained before reference");
+        assert_eq!((t.as_ps(), p), want);
+    }
+    assert!(q.pop().is_none());
+    let stats = q.stats();
+    assert_eq!(stats.pushes, model.seq);
+    assert_eq!(stats.pops, model.seq);
+    // Batching is an internal accounting of the same pops, never extra
+    // ones: each batch of size k contributes k-1 batched pops, and the
+    // largest observed batch bounds them all.
+    assert!(stats.batched_pops <= stats.pops.saturating_sub(1));
+    assert!(stats.max_batch <= stats.pops);
+    if stats.batched_pops > 0 {
+        assert!(stats.max_batch >= 2);
+        assert!(stats.max_batch <= stats.batched_pops + 1);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
     fn calendar_queue_matches_binary_heap(ops in arb_ops()) {
         run_against_reference(&ops, false);
+    }
+
+    /// Same-timestamp bursts exercise the batch-drain fast path; FIFO
+    /// order within a timestamp must match the `(time, seq)` heap.
+    #[test]
+    fn batch_drain_matches_binary_heap(ops in arb_burst_ops()) {
+        run_bursts_against_reference(&ops);
     }
 
     /// Past-time pushes panic under `debug_assert`, so the clamp branch is

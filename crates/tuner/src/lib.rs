@@ -29,12 +29,17 @@
 //! * [`cache`] — a memo table for simulated task and collective costs,
 //!   shared across message sizes, collectives and strategies within a
 //!   run and optionally persisted for warm-started repeated runs.
+//! * [`delta`] — delta re-simulation: sweep candidates sharing a DAG
+//!   structure replay the unchanged event prefix from a recorded
+//!   checkpoint and re-simulate only the divergent suffix,
+//!   bit-identically.
 
 pub mod analytic;
 pub mod bound;
 pub mod cache;
 pub mod calibrate;
 pub mod decision;
+pub mod delta;
 pub mod heuristics;
 pub mod model;
 pub mod search;
@@ -45,6 +50,7 @@ pub mod taskbench;
 pub use bound::lower_bound;
 pub use cache::{preset_fingerprint, CostCache};
 pub use decision::DecisionTree;
+pub use delta::{structural_fingerprint, DeltaSim, DeltaStats, SharedBases};
 pub use search::{
     achieved_latency, achieved_latency_with_cache, candidate_costs, tune, tune_with_cache,
     tune_with_opts, Strategy, TuneOpts, TuneResult,

@@ -15,6 +15,7 @@
 
 use crate::bound::lower_bound;
 use crate::cache::CostCache;
+use crate::delta::DeltaSim;
 use crate::model::predict;
 use crate::space::SearchSpace;
 use crate::table::LookupTable;
@@ -24,7 +25,7 @@ use han_colls::template::{time_coll_templated, TemplateStore};
 use han_colls::MpiStack;
 use han_core::{Han, HanConfig};
 use han_machine::{Machine, MachinePreset};
-use han_mpi::Program;
+use han_mpi::{ExecOpts, Program};
 use han_sim::Time;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -89,13 +90,28 @@ pub struct TuneResult {
 }
 
 /// Knobs for [`tune_with_opts`] beyond strategy and cache.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct TuneOpts {
     /// Skip simulating candidates whose analytic lower bound strictly
     /// exceeds the incumbent best for the same `(coll, m)` group. Winners
     /// are provably identical; `tuning_time`/`searches`/`samples` shrink
     /// to the simulated subset.
     pub prune: bool,
+    /// Serve sweep candidates by delta re-simulation ([`crate::delta`]):
+    /// structurally identical programs replay the unchanged event prefix
+    /// from a recorded checkpoint and re-simulate only the divergent
+    /// suffix. Every reported cost is bit-identical to a full simulation,
+    /// so this defaults to on.
+    pub delta: bool,
+}
+
+impl Default for TuneOpts {
+    fn default() -> Self {
+        TuneOpts {
+            prune: false,
+            delta: true,
+        }
+    }
 }
 
 fn note_skip(skipped: &mut Vec<Unsupported>, e: Unsupported) {
@@ -148,7 +164,11 @@ pub fn tune_with_opts(
 /// Simulate (or recall) the latency of one HAN collective configuration.
 /// Sweeps pass a [`TemplateStore`] plus a worker-local scratch program so
 /// repeated shapes specialize an interned template into reused allocations
-/// instead of rebuilding the DAG (bit-identical result).
+/// instead of rebuilding the DAG, and optionally a worker-local
+/// [`DeltaSim`] so structurally identical candidates replay their shared
+/// event prefix instead of re-simulating from scratch — bit-identical
+/// results either way.
+#[allow(clippy::too_many_arguments)]
 fn coll_cost(
     machine: &mut Machine,
     preset: &MachinePreset,
@@ -157,16 +177,22 @@ fn coll_cost(
     cfg: HanConfig,
     cache: Option<&CostCache>,
     templates: Option<(&TemplateStore, &mut Program)>,
+    delta: Option<&mut DeltaSim>,
 ) -> Result<Time, Unsupported> {
     if let Some(t) = cache.and_then(|c| c.lookup_coll(coll, &cfg, m)) {
         return Ok(t);
     }
     let han = Han::with_config(cfg);
-    let t = match templates {
-        Some((store, scratch)) => {
+    let t = match (templates, delta) {
+        (Some((store, scratch)), Some(ds)) => {
+            let key = store.build_into(&han, preset, coll, m, 0, scratch)?;
+            let opts = ExecOpts::timing(han.flavor().p2p());
+            ds.time(machine, scratch, &opts, key)
+        }
+        (Some((store, scratch)), None) => {
             time_coll_templated(&han, store, machine, preset, coll, m, 0, scratch)?
         }
-        None => time_coll_on(&han, machine, preset, coll, m, 0)?,
+        (None, _) => time_coll_on(&han, machine, preset, coll, m, 0)?,
     };
     if let Some(c) = cache {
         c.record_coll(coll, &cfg, m, t);
@@ -219,6 +245,11 @@ fn tune_exhaustive(
     // Shared template store: every worker re-stamps interned program
     // shapes instead of cold-building (results are bit-identical).
     let templates = TemplateStore::new();
+    // Shared delta bases: structurally identical candidates usually sit
+    // in different `(coll, m)` groups (same config, neighbouring message
+    // sizes), which the cursor hands to different workers — sharing the
+    // recordings is what lets one worker's base serve another's replay.
+    let delta_bases = DeltaSim::shared_bases();
     let next = AtomicUsize::new(0);
     let mut outcomes: Vec<Vec<Outcome>> = Vec::with_capacity(groups.len());
     std::thread::scope(|s| {
@@ -226,14 +257,24 @@ fn tune_exhaustive(
         let next = &next;
         let cache = cache.as_deref();
         let templates = &templates;
+        let delta_bases = &delta_bases;
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(move || {
-                    // One machine and one scratch program per worker; the
+                    // One machine, one scratch program, and (when enabled)
+                    // one delta-resimulation context per worker; the
                     // machine is reset between jobs by the executor, the
-                    // scratch's allocations are reused by specialization.
+                    // scratch's allocations are reused by specialization,
+                    // and the DeltaSims pool their recorded bases in the
+                    // shared cache so replays work across groups and
+                    // workers.
                     let mut machine = Machine::from_preset(preset);
                     let mut scratch = Program::default();
+                    let mut ds = if opts.delta {
+                        Some(DeltaSim::with_shared(delta_bases.clone()))
+                    } else {
+                        None
+                    };
                     let mut out: Vec<(usize, Vec<Outcome>)> = Vec::new();
                     loop {
                         let g = next.fetch_add(1, Ordering::Relaxed);
@@ -252,6 +293,7 @@ fn tune_exhaustive(
                                 cfgs,
                                 cache,
                                 templates,
+                                ds.as_mut(),
                                 opts,
                             ),
                         ));
@@ -327,6 +369,7 @@ fn run_group(
     cfgs: &[HanConfig],
     cache: Option<&CostCache>,
     templates: &TemplateStore,
+    mut delta: Option<&mut DeltaSim>,
     opts: TuneOpts,
 ) -> Vec<Outcome> {
     // Visit candidates cheapest-bound-first: tight early incumbents
@@ -365,6 +408,7 @@ fn run_group(
             cfgs[i],
             cache,
             Some((templates, &mut *scratch)),
+            delta.as_deref_mut(),
         );
         if let Ok(t) = &r {
             incumbent = Some(incumbent.map_or(*t, |inc| inc.min(*t)));
@@ -442,7 +486,7 @@ pub fn candidate_costs(
         .configs_for(m, &preset.topology, heuristic)
         .into_iter()
         .map(|cfg| {
-            let r = coll_cost(&mut machine, preset, coll, m, cfg, None, None);
+            let r = coll_cost(&mut machine, preset, coll, m, cfg, None, None, None);
             (cfg, r)
         })
         .collect()
@@ -473,7 +517,7 @@ pub fn achieved_latency_with_cache(
     let han = Han::with_config(cfg);
     let _ = han.name();
     let mut machine = Machine::from_preset(preset);
-    coll_cost(&mut machine, preset, coll, m, cfg, cache, None)
+    coll_cost(&mut machine, preset, coll, m, cfg, cache, None, None)
 }
 
 #[cfg(test)]
@@ -590,7 +634,10 @@ mod tests {
                 &colls,
                 Strategy::Exhaustive,
                 None,
-                TuneOpts { prune: false },
+                TuneOpts {
+                    prune: false,
+                    ..TuneOpts::default()
+                },
             );
             let fast = tune_with_opts(
                 &preset,
@@ -598,7 +645,10 @@ mod tests {
                 &colls,
                 Strategy::Exhaustive,
                 None,
-                TuneOpts { prune: true },
+                TuneOpts {
+                    prune: true,
+                    ..TuneOpts::default()
+                },
             );
             assert_eq!(plain.pruned, 0);
             assert!(
@@ -619,6 +669,42 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn delta_sweep_is_bit_identical_to_full_sweep() {
+        // Delta re-simulation must not change a single sample: every
+        // `(coll, m, cfg)` cost — not just the winners — is compared
+        // bit-for-bit against the delta-disabled sweep.
+        for preset in [mini(2, 4), han_machine::mini3(2, 2, 2)] {
+            let space = tiny_space();
+            let colls = [Coll::Bcast, Coll::Allreduce];
+            let full = tune_with_opts(
+                &preset,
+                &space,
+                &colls,
+                Strategy::Exhaustive,
+                None,
+                TuneOpts {
+                    prune: false,
+                    delta: false,
+                },
+            );
+            let delta = tune_with_opts(
+                &preset,
+                &space,
+                &colls,
+                Strategy::Exhaustive,
+                None,
+                TuneOpts {
+                    prune: false,
+                    delta: true,
+                },
+            );
+            assert_eq!(full.searches, delta.searches, "{}", preset.name);
+            assert_eq!(full.tuning_time, delta.tuning_time, "{}", preset.name);
+            assert_eq!(full.samples, delta.samples, "{}", preset.name);
         }
     }
 

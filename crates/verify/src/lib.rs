@@ -25,6 +25,7 @@
 //! | `task-model-band` | task model within the relative error band |
 //! | `analytic-envelope` | analytic models within a bounded factor |
 //! | `classic-agreement` | N-level builders ≡ classic two-level oracles |
+//! | `delta-agreement` | delta re-simulation ≡ full simulation, exactly |
 //!
 //! Every failed inequality becomes a structured [`Violation`] (guideline
 //! id, preset, collective, config, sizes, observed vs bound, relative

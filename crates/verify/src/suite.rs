@@ -4,7 +4,7 @@
 
 use crate::guidelines::{
     allreduce_composition, analytic_envelope, bcast_composition, bound_soundness,
-    classic_agreement, enumerate_candidates, msg_monotonicity, rank_monotonicity,
+    classic_agreement, delta_agreement, enumerate_candidates, msg_monotonicity, rank_monotonicity,
     reduce_vs_allreduce, table_dominance, task_model_accuracy,
 };
 use crate::report::{GuidelineReport, VerifyReport};
@@ -139,11 +139,15 @@ pub fn run_preset(preset: &MachinePreset, opts: &SuiteOpts) -> Vec<GuidelineRepo
         &opts.dominance_colls,
         Strategy::Exhaustive,
         None,
-        TuneOpts { prune: true },
+        TuneOpts {
+            prune: true,
+            delta: true,
+        },
     );
     let cands = enumerate_candidates(preset, &opts.space, &opts.dominance_colls);
     add(table_dominance(preset, &tuned.table, &cands));
     add(bound_soundness(preset, &cands));
+    add(delta_agreement(preset, &cands));
 
     // Model-vs-simulation error bands.
     add(task_model_accuracy(

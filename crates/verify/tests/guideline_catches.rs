@@ -106,7 +106,10 @@ fn tampered_table_is_caught_as_dominance_violation() {
         &colls,
         Strategy::Exhaustive,
         None,
-        TuneOpts { prune: true },
+        TuneOpts {
+            prune: true,
+            delta: true,
+        },
     );
     let cands = enumerate_candidates(&preset, &space, &colls);
 

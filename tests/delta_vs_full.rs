@@ -1,0 +1,175 @@
+//! Differential oracle for delta re-simulation: every candidate of a
+//! reduced Fig. 8 sweep is simulated both from scratch and through the
+//! checkpoint-replay path, on two- and three-level machines. Bit identity
+//! is the contract — makespan, per-op finish times, event counts, and the
+//! selected winners must be *equal*, not close.
+
+use std::collections::HashMap;
+
+use han::colls::stack::{build_coll, Coll, MpiStack};
+use han::machine::{dgx_like, mini, mini3, Machine, MachinePreset};
+use han::mpi::{execute, ExecOpts, Executor, Program, Recording, Report};
+use han::prelude::{Han, HanConfig, InterAlg, InterModule, IntraModule};
+use han::sim::Time;
+use han::tuner::{structural_fingerprint, SearchSpace};
+use proptest::prelude::*;
+
+/// Simulate `prog` through the delta path: record a base on the first
+/// sighting of its structure, replay on later ones, refresh on fallback.
+/// Returns the full [`Report`] so callers can compare more than makespan.
+fn delta_report(
+    exec: &mut Executor,
+    bases: &mut HashMap<u64, Recording>,
+    machine: &mut Machine,
+    prog: &Program,
+    opts: &ExecOpts,
+) -> Report {
+    let fp = structural_fingerprint(prog);
+    if let Some(base) = bases.get(&fp) {
+        if let Some(rep) = exec.run_delta(machine, prog, opts, base) {
+            return rep;
+        }
+    }
+    let rec = exec.run_recorded(machine, prog, opts);
+    let rep = rec.report().clone();
+    bases.insert(fp, rec);
+    rep
+}
+
+fn assert_reports_identical(full: &Report, delta: &Report, what: &str) {
+    assert_eq!(full.makespan, delta.makespan, "{what}: makespan");
+    assert_eq!(full.rank_finish, delta.rank_finish, "{what}: rank finishes");
+    assert_eq!(
+        full.op_finishes(),
+        delta.op_finishes(),
+        "{what}: op finishes"
+    );
+    assert_eq!(full.events, delta.events, "{what}: event count");
+}
+
+/// The reduced sweep grid: small enough to run in a debug test, wide
+/// enough that candidates both share structures (delta hits) and diverge
+/// (prefix replay + suffix re-simulation).
+fn sweep_space() -> SearchSpace {
+    let mut space = SearchSpace::standard();
+    space.msg_sizes = vec![16 * 1024, 256 * 1024, 1 << 20];
+    space.seg_sizes = vec![64 * 1024, 256 * 1024];
+    space
+}
+
+#[test]
+fn fig8_candidates_delta_vs_full_bit_identical() {
+    for preset in [mini(2, 4), mini3(2, 2, 2), dgx_like(2, 4)] {
+        run_preset(&preset);
+    }
+}
+
+fn run_preset(preset: &MachinePreset) {
+    let space = sweep_space();
+    let mut machine = Machine::from_preset(preset);
+    let mut exec = Executor::new();
+    let mut bases: HashMap<u64, Recording> = HashMap::new();
+    for coll in [Coll::Bcast, Coll::Allreduce] {
+        for &m in &space.msg_sizes {
+            let mut full_winner: Option<(usize, Time)> = None;
+            let mut delta_winner: Option<(usize, Time)> = None;
+            for (i, cfg) in space
+                .configs_for(m, &preset.topology, false)
+                .into_iter()
+                .enumerate()
+            {
+                let han = Han::with_config(cfg);
+                let prog = match build_coll(&han, preset, coll, m, 0) {
+                    Ok(p) => p,
+                    Err(_) => continue,
+                };
+                let opts = ExecOpts::timing(han.flavor().p2p());
+                let full = execute(&mut machine, &prog, &opts);
+                let delta = delta_report(&mut exec, &mut bases, &mut machine, &prog, &opts);
+                let what = format!("{} {coll:?} m={m} cfg=[{cfg}]", preset.name);
+                assert_reports_identical(&full, &delta, &what);
+                if full_winner.map(|(_, t)| full.makespan < t).unwrap_or(true) {
+                    full_winner = Some((i, full.makespan));
+                }
+                if delta_winner
+                    .map(|(_, t)| delta.makespan < t)
+                    .unwrap_or(true)
+                {
+                    delta_winner = Some((i, delta.makespan));
+                }
+            }
+            assert_eq!(
+                full_winner, delta_winner,
+                "{} {coll:?} m={m}: winner diverged",
+                preset.name
+            );
+        }
+    }
+}
+
+/// One single-axis perturbation of a base config, mirroring how adjacent
+/// sweep candidates differ.
+fn perturb(cfg: &HanConfig, axis: u32) -> HanConfig {
+    let mut p = *cfg;
+    match axis % 5 {
+        0 => p.fs *= 2,
+        1 => p.ibs = Some(p.ibs.map_or(64 * 1024, |s| s * 2)),
+        2 => p.irs = Some(p.irs.map_or(64 * 1024, |s| s * 2)),
+        3 => {
+            p.ibalg = if p.ibalg == InterAlg::Binomial {
+                InterAlg::Chain
+            } else {
+                InterAlg::Binomial
+            };
+        }
+        _ => {
+            p.iralg = if p.iralg == InterAlg::Chain {
+                InterAlg::Binomial
+            } else {
+                InterAlg::Chain
+            };
+        }
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Record a base from a random config, then re-simulate a random
+    /// single-axis perturbation of it through the delta path; the result
+    /// must be bit-identical to a from-scratch run whether replay applies
+    /// (same structure) or falls back (shape changed).
+    #[test]
+    fn single_axis_perturbation_bit_identical(
+        coll_sel in 0u32..2,
+        fs_exp in 14u32..20,
+        axis in 0u32..5,
+        m_exp in 14u32..21,
+    ) {
+        let preset = mini(2, 2);
+        let coll = if coll_sel == 0 { Coll::Bcast } else { Coll::Allreduce };
+        let m = 1u64 << m_exp;
+        let base_cfg = HanConfig {
+            fs: 1 << fs_exp,
+            imod: InterModule::Adapt,
+            smod: IntraModule::Sm,
+            ..HanConfig::default()
+        };
+        let mut machine = Machine::from_preset(&preset);
+        let mut exec = Executor::new();
+        let mut bases = HashMap::new();
+        for cfg in [base_cfg, perturb(&base_cfg, axis)] {
+            let han = Han::with_config(cfg);
+            let prog = match build_coll(&han, &preset, coll, m, 0) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            let opts = ExecOpts::timing(han.flavor().p2p());
+            let full = execute(&mut machine, &prog, &opts);
+            let delta = delta_report(&mut exec, &mut bases, &mut machine, &prog, &opts);
+            let what = format!("{coll:?} m={m} axis={axis} cfg=[{cfg}]");
+            assert_reports_identical(&full, &delta, &what);
+        }
+    }
+}

@@ -49,7 +49,10 @@ fn sweep_winners() -> Vec<GoldenRow> {
         &[Coll::Bcast, Coll::Allreduce],
         Strategy::Exhaustive,
         None,
-        TuneOpts { prune: true },
+        TuneOpts {
+            prune: true,
+            delta: true,
+        },
     );
     assert!(r.skipped.is_empty(), "unexpected skips: {:?}", r.skipped);
     r.table
