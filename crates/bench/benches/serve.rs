@@ -1,0 +1,161 @@
+//! The tuning-service benchmark: sustained lookup throughput and tail
+//! latency of the `han-serve` daemon as a decision cache sees it.
+//!
+//! Three tables (mini / mini3 / dgx-like) are tuned and published, then:
+//!
+//! * **throughput** — several client threads hammer the daemon with
+//!   batched queries over a pseudo-random size stream; the bucket cache
+//!   turns almost all of them into local answers, so the figure of
+//!   merit is end-to-end lookups per second across all clients. Halfway
+//!   through, a re-tuned table hot-swaps in under one fingerprint, so
+//!   the number includes a generation flush.
+//! * **latency** — one client issues single-query lookups and records
+//!   per-call wall time; the report keeps the p50/p99 of the steady
+//!   state (cache warm, occasional server round-trips).
+//!
+//! Results land in `BENCH_serve.json` as `[name, value]` pairs.
+
+use han_decide::preset_fingerprint;
+use han_machine::{dgx_like, mini, mini3};
+use han_serve::{serve, tune_table, Client, Query, TableStore, SERVE_COLLS};
+use std::sync::Arc;
+use std::time::Instant;
+
+const CLIENT_THREADS: usize = 4;
+const BATCH: usize = 256;
+const BATCHES_PER_THREAD: usize = 1500;
+const LATENCY_SAMPLES: usize = 100_000;
+
+/// Deterministic size stream (xorshift64*), no external RNG.
+struct Sizes(u64);
+
+impl Sizes {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// A message size in [1, 64 MiB), log-uniform-ish.
+    fn size(&mut self) -> u64 {
+        let bits = 1 + self.next() % 26;
+        1 + self.next() % (1u64 << bits)
+    }
+}
+
+fn main() {
+    let presets = [mini(4, 4), mini3(2, 2, 2), dgx_like(2, 4)];
+    let t0 = Instant::now();
+    let tables: Vec<_> = presets.iter().map(tune_table).collect();
+    let fingerprints: Vec<u64> = presets.iter().map(preset_fingerprint).collect();
+    println!(
+        "[serve] tuned {} tables in {:.2}s",
+        tables.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let store = Arc::new(TableStore::new());
+    for (fp, table) in fingerprints.iter().zip(&tables) {
+        store.publish(*fp, table.clone());
+    }
+    let mut server = serve("127.0.0.1:0", Arc::clone(&store)).expect("bind");
+    let addr = server.addr();
+
+    // --- Throughput: CLIENT_THREADS caching clients, batched queries. ---
+    let t0 = Instant::now();
+    let swap_at = BATCHES_PER_THREAD / 2;
+    let workers: Vec<_> = (0..CLIENT_THREADS)
+        .map(|w| {
+            let fingerprints = fingerprints.clone();
+            let store = Arc::clone(&store);
+            let table_v2 = tables[0].clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut sizes = Sizes(0x9e3779b97f4a7c15 ^ (w as u64 + 1));
+                let mut lookups = 0u64;
+                for batch in 0..BATCHES_PER_THREAD {
+                    if batch == swap_at && w == 0 {
+                        // Hot-swap a re-tuned table mid-run; every client
+                        // takes a generation flush on its next miss.
+                        store.publish(fingerprints[0], table_v2.clone());
+                    }
+                    let queries: Vec<Query> = (0..BATCH)
+                        .map(|_| Query {
+                            fingerprint: fingerprints[(sizes.next() % 3) as usize],
+                            coll: SERVE_COLLS[(sizes.next() % 3) as usize],
+                            m: sizes.size(),
+                        })
+                        .collect();
+                    let answers = client.resolve_batch(&queries).expect("resolve");
+                    lookups += answers.len() as u64;
+                }
+                (lookups, client.hits(), client.misses())
+            })
+        })
+        .collect();
+    let mut lookups = 0u64;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for worker in workers {
+        let (l, h, m) = worker.join().expect("worker");
+        lookups += l;
+        hits += h;
+        misses += m;
+    }
+    let throughput_s = t0.elapsed().as_secs_f64();
+    let lookups_per_sec = lookups as f64 / throughput_s;
+    let client_cache_hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+
+    // --- Latency: single client, single-query calls, steady state. ---
+    let mut client = Client::connect(addr).expect("connect");
+    let mut sizes = Sizes(0xdeadbeefcafef00d);
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(LATENCY_SAMPLES);
+    for _ in 0..LATENCY_SAMPLES {
+        let q = Query {
+            fingerprint: fingerprints[(sizes.next() % 3) as usize],
+            coll: SERVE_COLLS[(sizes.next() % 3) as usize],
+            m: sizes.size(),
+        };
+        let t = Instant::now();
+        client.resolve(q).expect("resolve");
+        lat_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    lat_ns.sort_unstable();
+    let p50_us = lat_ns[LATENCY_SAMPLES / 2] as f64 / 1e3;
+    let p99_us = lat_ns[LATENCY_SAMPLES * 99 / 100] as f64 / 1e3;
+
+    let stats = client.server_stats().expect("stats");
+    server.shutdown();
+
+    let rows: Vec<(String, f64)> = vec![
+        ("lookups_per_sec".into(), lookups_per_sec),
+        ("throughput_wall_s".into(), throughput_s),
+        ("client_cache_hit_rate".into(), client_cache_hit_rate),
+        ("p50_us".into(), p50_us),
+        ("p99_us".into(), p99_us),
+        ("client_threads".into(), CLIENT_THREADS as f64),
+        ("server_batches".into(), stats.batches as f64),
+        ("server_lookups".into(), stats.lookups as f64),
+        ("tables_served".into(), stats.tables as f64),
+    ];
+    // cargo runs benches with cwd = the package dir; anchor the report at
+    // the workspace root where the other results live.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match serde_json::to_string_pretty(&rows) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(out, text) {
+                eprintln!("[serve] could not write BENCH_serve.json: {e}");
+            } else {
+                println!(
+                    "[serve] {:.2}M lookups/s across {CLIENT_THREADS} clients \
+                     (hit rate {:.4}), p50 {p50_us:.2}us p99 {p99_us:.2}us \
+                     -> BENCH_serve.json",
+                    lookups_per_sec / 1e6,
+                    client_cache_hit_rate,
+                );
+            }
+        }
+        Err(e) => eprintln!("[serve] could not serialize results: {e}"),
+    }
+}

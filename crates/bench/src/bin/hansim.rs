@@ -32,7 +32,7 @@ use han_machine::{mini, shaheen2_ppn, stampede2_ppn, Machine, MachinePreset, Top
 use han_mpi::{trace_execution, ExecMode, ExecOpts};
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["verify"];
+const BOOL_FLAGS: &[&str] = &["verify", "allow-clamped", "serve"];
 
 fn parse_args() -> std::collections::HashMap<String, String> {
     let mut map = std::collections::HashMap::new();
@@ -84,6 +84,29 @@ fn run_verify() -> ! {
     std::process::exit(han_bench::gate::finish("hansim"));
 }
 
+/// `hansim --serve [--addr HOST:PORT]`: the tuning daemon. Binds the
+/// address, kicks off background re-tunes of the standard presets so the
+/// store warms up while already accepting connections, and serves until
+/// a client sends `Shutdown` (or the process is killed).
+fn run_serve(addr: &str) -> ! {
+    let store = std::sync::Arc::new(han_serve::TableStore::new());
+    let mut server = match han_serve::serve(addr, std::sync::Arc::clone(&store)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hansim --serve: cannot bind {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("hansim: serving decisions on {}", server.addr());
+    for preset in han_verify::standard_presets() {
+        let (fp, _worker) = han_serve::spawn_retune(std::sync::Arc::clone(&store), preset);
+        println!("hansim: tuning table {fp:016x} in the background");
+    }
+    server.wait();
+    println!("hansim: daemon shut down");
+    std::process::exit(0);
+}
+
 fn stack_by_name(name: &str, cfg: HanConfig) -> Box<dyn MpiStack> {
     match name {
         "han" => Box::new(Han::with_config(cfg)),
@@ -100,8 +123,19 @@ fn stack_by_name(name: &str, cfg: HanConfig) -> Box<dyn MpiStack> {
 
 fn main() {
     let args = parse_args();
+    if args.contains_key("allow-clamped") {
+        han_bench::gate::allow_clamped();
+    }
     if args.contains_key("verify") {
         run_verify();
+    }
+    if args.contains_key("serve") {
+        run_serve(
+            &args
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7070".to_string()),
+        );
     }
     let get = |k: &str, d: &str| args.get(k).cloned().unwrap_or_else(|| d.to_string());
 
@@ -237,6 +271,10 @@ fn main() {
                 "{:>18}  WARNING: {} event(s) scheduled in the past were clamped \
                  to the current virtual time",
                 "", report.engine.clamped
+            );
+            han_bench::gate::note_clamped(
+                &format!("{} engine", stack.name()),
+                report.engine.clamped,
             );
         }
         if let Some(path) = args.get("trace") {

@@ -1049,6 +1049,8 @@ fn main() {
             prune = false;
         } else if a == "--no-delta" {
             delta = false;
+        } else if a == "--allow-clamped" {
+            gate::allow_clamped();
         } else if a == "--scale" {
             if let Some(v) = it.next() {
                 scale = if v == "mini" {
@@ -1180,6 +1182,7 @@ fn main() {
              to the current virtual time — simulation results may be suspect",
             eng.clamped
         );
+        gate::note_clamped("repro event engine", eng.clamped);
     }
     let code = gate::finish("repro");
     if code != 0 {

@@ -204,7 +204,7 @@ pub fn build_allreduce(
     let topo = cx.topo;
     let levels = cx.levels;
     let el = dtype.size() as u64;
-    let fs = han_machine::coarsen_fs((cfg.fs / el).max(1) * el, &node, &levels);
+    let fs = han_machine::coarsen_fs((cfg.fs / el).max(1) * el, bufs[0].len, &node, &levels);
     let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(fs)).collect();
     let u = segs[0].len();
     let nl = up.size();

@@ -167,7 +167,7 @@ pub fn build_bcast(
     let node = cx.node;
     let topo = cx.topo;
     let levels = cx.levels;
-    let fs = han_machine::coarsen_fs(cfg.fs, &node, &levels);
+    let fs = han_machine::coarsen_fs(cfg.fs, bufs[0].len, &node, &levels);
     let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(fs)).collect();
     let u = segs[0].len();
 

@@ -52,7 +52,7 @@ pub fn build_bcast(
 
     let node = cx.node;
     let lvl = *cx.levels.innermost();
-    let fs = han_machine::coarsen_fs(cfg.fs, &node, &cx.levels);
+    let fs = han_machine::coarsen_fs(cfg.fs, bufs[0].len, &node, &cx.levels);
     let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(fs)).collect();
     let u = segs[0].len();
 
@@ -161,7 +161,7 @@ pub fn build_allreduce(
     let node = cx.node;
     let lvl = *cx.levels.innermost();
     let el = dtype.size() as u64;
-    let fs = han_machine::coarsen_fs((cfg.fs / el).max(1) * el, &node, &cx.levels);
+    let fs = han_machine::coarsen_fs((cfg.fs / el).max(1) * el, bufs[0].len, &node, &cx.levels);
     let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(fs)).collect();
     let u = segs[0].len();
     let nl = up.size();
@@ -326,7 +326,7 @@ pub fn build_reduce(
     // Segment at datatype granularity: a reduction segment must hold a
     // whole number of elements.
     let el = dtype.size() as u64;
-    let fs = han_machine::coarsen_fs((cfg.fs / el).max(1) * el, &node, &cx.levels);
+    let fs = han_machine::coarsen_fs((cfg.fs / el).max(1) * el, bufs[0].len, &node, &cx.levels);
     let segs: Vec<Vec<BufRange>> = bufs.iter().map(|bf| bf.segments(fs)).collect();
     let u = segs[0].len();
 

@@ -207,7 +207,7 @@ impl MpiStack for Han {
         let rem = |fs: u64| bytes - (bytes.div_ceil(fs) - 1) * fs;
         match coll {
             Coll::Bcast => {
-                let fs = han_machine::coarsen_fs(cfg.fs.max(1), node, &lv);
+                let fs = han_machine::coarsen_fs(cfg.fs.max(1), bytes, node, &lv);
                 let rem = rem(fs);
                 h.write_u64(bytes.div_ceil(fs));
                 h.write_u64(node.sm_fragments(rem));
@@ -218,7 +218,7 @@ impl MpiStack for Han {
             Coll::Allreduce | Coll::Reduce => {
                 // The builders quantize `fs` to whole elements.
                 let el = DataType::Float32.size() as u64;
-                let fs = han_machine::coarsen_fs((cfg.fs / el).max(1) * el, node, &lv);
+                let fs = han_machine::coarsen_fs((cfg.fs / el).max(1) * el, bytes, node, &lv);
                 let rem = rem(fs);
                 h.write_u64(bytes.div_ceil(fs));
                 h.write_u64(node.sm_fragments(rem));

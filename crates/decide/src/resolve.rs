@@ -1,0 +1,197 @@
+//! Size-bucket resolution: one answer per *interval*, not per byte count.
+//!
+//! [`LookupTable::nearest`] partitions the message-size axis into
+//! buckets — every query inside a bucket resolves to the same table
+//! entry. A client that learns the bucket once can answer every future
+//! query inside it locally, bit-identically, without another round-trip.
+//! [`LookupTable::resolve`] computes the bucket by binary search **using
+//! the exact comparator `nearest` uses** (log-space distance, ties to
+//! the smaller sample). The comparator is monotone along the size axis,
+//! so the search is exact: for every `x` in `[lo, hi]`,
+//! `nearest(coll, x)` returns the resolved entry — there is no
+//! tolerance, no epsilon, no disagreement window.
+
+use crate::table::LookupTable;
+use han_colls::Coll;
+use han_core::HanConfig;
+
+/// The answer to one decision query, widened to the maximal interval of
+/// message sizes on which it holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// The tuned configuration to use.
+    pub cfg: HanConfig,
+    /// The sampled message size the query resolved to.
+    pub m: u64,
+    /// Smallest query size (inclusive) resolving to this entry.
+    pub lo: u64,
+    /// Largest query size (inclusive) resolving to this entry.
+    pub hi: u64,
+    /// The cost the tuner attributed to the sample, in picoseconds.
+    pub cost_ps: u64,
+}
+
+impl Resolution {
+    /// Does `m` fall inside this resolution's bucket?
+    pub fn contains(&self, m: u64) -> bool {
+        self.lo <= m && m <= self.hi
+    }
+}
+
+/// Absolute log-space distance between a sampled size and a query — the
+/// exact expression inside [`LookupTable::nearest`]'s comparator.
+fn log_dist(sample: u64, m: u64) -> f64 {
+    ((sample.max(1) as f64).log2() - (m.max(1) as f64).log2()).abs()
+}
+
+/// The sample `nearest` would choose for query `m` among `samples`
+/// (sorted ascending, distinct): minimal `(log distance, sample)`.
+fn pick(samples: &[u64], m: u64) -> u64 {
+    *samples
+        .iter()
+        .min_by(|&&a, &&b| {
+            log_dist(a, m)
+                .partial_cmp(&log_dist(b, m))
+                .unwrap()
+                .then_with(|| a.cmp(&b))
+        })
+        .expect("samples non-empty")
+}
+
+impl LookupTable {
+    /// Resolve a query to its entry *and* the maximal interval
+    /// `[lo, hi]` of sizes that resolve identically (see module docs).
+    pub fn resolve(&self, coll: Coll, m: u64) -> Option<Resolution> {
+        let e = self.nearest(coll, m)?;
+        let samples = self.sampled_sizes(coll);
+        let s = e.m;
+        let i = samples.iter().position(|&x| x == s).expect("sampled");
+
+        // Below the first sample every query resolves to it; otherwise
+        // binary-search the smallest x with pick(x) == s. The bracket is
+        // valid because pick at a sample is that sample (nearest returned
+        // s, so no equal-log smaller sample shadows it) and pick is
+        // monotone in x (log2 and the distance comparator both are).
+        let lo = if i == 0 {
+            0
+        } else {
+            let mut out = samples[i - 1]; // pick(out) != s
+            let mut inside = s; // pick(inside) == s
+            while inside - out > 1 {
+                let mid = out + (inside - out) / 2;
+                if pick(&samples, mid) == s {
+                    inside = mid;
+                } else {
+                    out = mid;
+                }
+            }
+            inside
+        };
+        let hi = if i + 1 == samples.len() {
+            u64::MAX
+        } else {
+            let mut inside = s; // pick(inside) == s
+            let mut out = samples[i + 1]; // pick(out) != s
+            while out - inside > 1 {
+                let mid = inside + (out - inside) / 2;
+                if pick(&samples, mid) == s {
+                    inside = mid;
+                } else {
+                    out = mid;
+                }
+            }
+            inside
+        };
+        Some(Resolution {
+            cfg: e.cfg,
+            m: s,
+            lo,
+            hi,
+            cost_ps: e.cost_ps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use han_sim::Time;
+
+    fn table(sizes: &[u64]) -> LookupTable {
+        let mut t = LookupTable::new(4, 8);
+        for &m in sizes {
+            t.insert(
+                Coll::Bcast,
+                m,
+                HanConfig::default().with_fs(m.max(4)),
+                Time::from_us(1),
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn buckets_tile_the_axis() {
+        let t = table(&[1024, 1 << 20, 16 << 20]);
+        let r0 = t.resolve(Coll::Bcast, 4).unwrap();
+        assert_eq!((r0.m, r0.lo), (1024, 0));
+        let r2 = t.resolve(Coll::Bcast, 1 << 30).unwrap();
+        assert_eq!((r2.m, r2.hi), (16 << 20, u64::MAX));
+        // Adjacent buckets share a boundary with no gap and no overlap.
+        let r1 = t.resolve(Coll::Bcast, 64 * 1024).unwrap();
+        assert_eq!(r0.hi + 1, r1.lo);
+        assert_eq!(r1.hi + 1, r2.lo);
+    }
+
+    #[test]
+    fn boundary_is_exactly_nearests_boundary() {
+        let t = table(&[1024, 1 << 20]);
+        let r = t.resolve(Coll::Bcast, 2048).unwrap();
+        // Geometric midpoint of 1K and 1M is 32K; ties go to the smaller
+        // sample, so 32K itself still resolves small.
+        assert_eq!(r.m, 1024);
+        assert_eq!(t.nearest(Coll::Bcast, r.hi).unwrap().m, 1024);
+        assert_eq!(t.nearest(Coll::Bcast, r.hi + 1).unwrap().m, 1 << 20);
+        assert!(r.contains(32 * 1024));
+        assert!(!r.contains(33 * 1024));
+    }
+
+    #[test]
+    fn every_query_in_bucket_agrees_with_nearest() {
+        let t = table(&[4, 4096, 65536, 1 << 24]);
+        for q in [0u64, 1, 3, 4, 5, 511, 513, 4096, 60000, 70000, 1 << 30] {
+            let r = t.resolve(Coll::Bcast, q).unwrap();
+            assert!(r.contains(q), "bucket must contain its own query ({q})");
+            for x in [
+                r.lo,
+                r.lo + 1,
+                r.lo + (r.hi - r.lo) / 2,
+                r.hi.saturating_sub(1),
+                r.hi,
+            ] {
+                let n = t.nearest(Coll::Bcast, x).unwrap();
+                assert_eq!(n.m, r.m, "query {x} must resolve like {q}");
+                assert_eq!(n.cfg, r.cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn single_sample_covers_everything() {
+        let t = table(&[8192]);
+        let r = t.resolve(Coll::Bcast, 1).unwrap();
+        assert_eq!((r.lo, r.hi), (0, u64::MAX));
+        assert!(t.resolve(Coll::Allreduce, 1).is_none());
+    }
+
+    #[test]
+    fn zero_and_one_byte_queries() {
+        // log2 treats 0 and 1 identically (m.max(1)); both land in the
+        // smallest bucket.
+        let t = table(&[0, 16]);
+        let r = t.resolve(Coll::Bcast, 1).unwrap();
+        assert_eq!(r.m, 0);
+        assert_eq!(r.lo, 0);
+        assert_eq!(t.nearest(Coll::Bcast, r.hi + 1).unwrap().m, 16);
+    }
+}

@@ -297,7 +297,14 @@ impl LevelVec {
 /// ops do, and those always join ranks within one node). On uniform
 /// machines every launch is zero and `fs` is returned unchanged, so
 /// historical programs stay bit-identical.
-pub fn coarsen_fs(fs: u64, node: &NodeParams, levels: &LevelVec) -> u64 {
+///
+/// The doubling is clamped at the message size `m`: any `fs ≥ m` yields
+/// exactly one segment of `m` bytes (segmentation caps the last segment
+/// at the remaining length), so widening past `m` cannot change a built
+/// program or a simulated time — it only inflated template keys, making
+/// structurally identical sweeps on high-launch presets miss the
+/// template/delta caches.
+pub fn coarsen_fs(fs: u64, m: u64, node: &NodeParams, levels: &LevelVec) -> u64 {
     const AMORTIZE: u64 = 8;
     let launch = levels
         .iter()
@@ -309,11 +316,12 @@ pub fn coarsen_fs(fs: u64, node: &NodeParams, levels: &LevelVec) -> u64 {
         return fs;
     }
     let target = launch * AMORTIZE;
+    let cap = m.max(1);
     let mut f = fs.max(1);
-    while node.copy_time(f) < target && f < (1 << 40) {
+    while node.copy_time(f) < target && f < (1 << 40) && f < cap {
         f *= 2;
     }
-    f
+    f.min(cap.max(fs.max(1)))
 }
 
 impl NodeParams {
@@ -522,6 +530,58 @@ mod tests {
         assert_eq!(lv.get(1).bandwidth, 60e9);
         assert_eq!(lv.innermost().bandwidth, 60e9);
         assert_eq!(lv.iter().count(), 2);
+    }
+
+    fn launch_levels(launch: Time) -> LevelVec {
+        let wire = LevelParams {
+            bandwidth: 10e9,
+            latency: Time::from_us(1),
+            reduce_rate: 3e9,
+            reduce_rate_avx: 12e9,
+            launch: Time::ZERO,
+        };
+        let mut inner = wire;
+        inner.launch = launch;
+        LevelVec::from_slice(&[wire, inner])
+    }
+
+    #[test]
+    fn coarsen_fs_uniform_is_identity() {
+        let n = node();
+        let lv = launch_levels(Time::ZERO);
+        // Zero launch: unchanged, even past the message size.
+        assert_eq!(coarsen_fs(4096, 1024, &n, &lv), 4096);
+        assert_eq!(coarsen_fs(1 << 20, 1 << 30, &n, &lv), 1 << 20);
+    }
+
+    #[test]
+    fn coarsen_fs_clamps_at_message_size() {
+        let n = node();
+        let lv = launch_levels(Time::from_us(5));
+        // target = 40 us => amortized width 320 KB, rounded up to 512 KB.
+        assert_eq!(coarsen_fs(4096, 16 << 20, &n, &lv), 512 * 1024);
+        // A 64 KB message must not coarsen to a fragment wider than
+        // itself: any fs >= m is one m-byte segment anyway, and widening
+        // further only skews template keys.
+        assert_eq!(coarsen_fs(4096, 64 * 1024, &n, &lv), 64 * 1024);
+        // Non-power-of-two messages clamp exactly at m.
+        assert_eq!(coarsen_fs(4096, 100_000, &n, &lv), 100_000);
+        // A configured fs already past the message size is left alone.
+        assert_eq!(coarsen_fs(1 << 20, 64 * 1024, &n, &lv), 1 << 20);
+        // Tiny messages never widen at all.
+        assert_eq!(coarsen_fs(4096, 1, &n, &lv), 4096);
+    }
+
+    #[test]
+    fn coarsen_fs_guard_boundary() {
+        let n = node();
+        // launch * 8 = 160 s, amortized width ~ 1.28e12 bytes > 1 << 40:
+        // the doubling must stop exactly at the 1 TiB guard, not wrap or
+        // overshoot, and still respect a smaller message clamp.
+        let lv = launch_levels(Time::from_secs_f64(20.0));
+        assert_eq!(coarsen_fs(1, u64::MAX, &n, &lv), 1 << 40);
+        assert_eq!(coarsen_fs(1, (1 << 40) + 1, &n, &lv), 1 << 40);
+        assert_eq!(coarsen_fs(1, 1 << 20, &n, &lv), 1 << 20);
     }
 
     #[test]

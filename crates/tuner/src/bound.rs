@@ -131,7 +131,7 @@ pub fn lower_bound(preset: &MachinePreset, cfg: &HanConfig, coll: Coll, m: u64) 
 
     match coll {
         Coll::Bcast => {
-            let fs = han_machine::coarsen_fs(cfg.fs.max(1), node, &lv);
+            let fs = han_machine::coarsen_fs(cfg.fs.max(1), m, node, &lv);
             let mut best = Time::ZERO;
             if nl > 1 {
                 let (deg, ibs, _) = inter_root(cfg, nl, false);
@@ -144,7 +144,7 @@ pub fn lower_bound(preset: &MachinePreset, cfg: &HanConfig, coll: Coll, m: u64) 
             Some(best)
         }
         Coll::Allreduce | Coll::Reduce => {
-            let fs = han_machine::coarsen_fs((cfg.fs / el).max(1) * el, node, &lv);
+            let fs = han_machine::coarsen_fs((cfg.fs / el).max(1) * el, m, node, &lv);
             let mut best = root_reduce_cpu(fs);
             if nl > 1 {
                 let (deg_r, irs, _) = inter_root(cfg, nl, true);

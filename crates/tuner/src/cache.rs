@@ -42,18 +42,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Stable fingerprint of a machine preset: FNV-1a over its canonical JSON
-/// form. Any change to topology, node, or network parameters changes the
-/// fingerprint and invalidates persisted caches.
-pub fn preset_fingerprint(preset: &MachinePreset) -> u64 {
-    let text = serde_json::to_string(preset).expect("preset serializes");
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
-}
+pub use han_decide::preset_fingerprint;
 
 type CollKey = (Coll, HanConfig, u64);
 type TaskKey = (HanConfig, TaskSpec, u64, Vec<u64>);
@@ -203,13 +192,23 @@ impl CostCache {
 
     /// Load the persisted cache for `preset` from `dir`, or start empty.
     /// A missing file, unparsable contents, or a fingerprint mismatch all
-    /// yield an empty cache (the invalidation rule).
+    /// yield an empty cache (the invalidation rule). Unparsable files —
+    /// e.g. torn writes from a crashed run under the pre-atomic-rename
+    /// format — are logged and treated as a cold miss, never an error.
     pub fn load_or_new(dir: &Path, preset: &MachinePreset) -> Self {
         let path = Self::path_for(dir, preset);
         if let Ok(text) = std::fs::read_to_string(&path) {
-            if let Some(cache) = Self::from_json(&text) {
-                if cache.fingerprint == preset_fingerprint(preset) {
-                    return cache;
+            match Self::from_json(&text) {
+                Some(cache) => {
+                    if cache.fingerprint == preset_fingerprint(preset) {
+                        return cache;
+                    }
+                }
+                None => {
+                    eprintln!(
+                        "warning: ignoring unparsable cost cache {} (cold start)",
+                        path.display()
+                    );
                 }
             }
         }
@@ -217,11 +216,27 @@ impl CostCache {
     }
 
     /// Persist under `dir` (created if needed) at the canonical path.
+    ///
+    /// The write goes to a process-unique temp file first and lands via
+    /// atomic rename, so concurrent runs (or re-tuning workers) racing on
+    /// the same preset can interleave freely: readers see either the old
+    /// complete file or the new complete file, never torn JSON.
     pub fn save_under(&self, dir: &Path) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("cost_cache_{:016x}.json", self.fingerprint));
-        std::fs::write(&path, self.to_json())?;
-        Ok(path)
+        let tmp = dir.join(format!(
+            ".cost_cache_{:016x}.{}.tmp",
+            self.fingerprint,
+            std::process::id()
+        ));
+        std::fs::write(&tmp, self.to_json())?;
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => Ok(path),
+            Err(e) => {
+                std::fs::remove_file(&tmp).ok();
+                Err(e)
+            }
+        }
     }
 
     pub fn to_json(&self) -> String {
@@ -270,7 +285,7 @@ impl CostCache {
         let fingerprint = root["fingerprint"].as_u64()?;
         let mut inner = Inner::default();
         for item in root["coll"].as_array()? {
-            let coll = coll_from_name(item[0].as_str()?)?;
+            let coll = Coll::from_name(item[0].as_str()?)?;
             let cfg = HanConfig::from_value(&item[1]).ok()?;
             let m = item[2].as_u64()?;
             let ps = item[3].as_u64()?;
@@ -313,54 +328,24 @@ impl CostCache {
     }
 }
 
-fn coll_from_name(name: &str) -> Option<Coll> {
-    Some(match name {
-        "bcast" => Coll::Bcast,
-        "allreduce" => Coll::Allreduce,
-        "reduce" => Coll::Reduce,
-        "gather" => Coll::Gather,
-        "scatter" => Coll::Scatter,
-        "allgather" => Coll::Allgather,
-        "barrier" => Coll::Barrier,
-        _ => return None,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use han_machine::{mini, stampede2};
 
     #[test]
-    fn fingerprint_separates_presets() {
-        let a = preset_fingerprint(&mini(4, 4));
-        let b = preset_fingerprint(&mini(4, 8));
-        let c = preset_fingerprint(&mini(4, 4));
-        assert_ne!(a, b, "different topologies must differ");
-        assert_eq!(a, c, "fingerprint must be stable");
-        assert_ne!(a, preset_fingerprint(&stampede2(4)));
-    }
-
-    #[test]
-    fn fingerprint_separates_rails_and_level_overrides() {
-        use han_machine::{dgx_like, RailPolicy};
-        let base = mini(4, 4);
-        let a = preset_fingerprint(&base);
-        let striped = base.with_rails(4, RailPolicy::Stripe);
-        assert_ne!(a, preset_fingerprint(&striped), "rails must re-key");
-        assert_ne!(
-            preset_fingerprint(&striped),
-            preset_fingerprint(&base.with_rails(4, RailPolicy::RoundRobin)),
-            "rail policy must re-key"
+    fn fingerprint_reexport_is_the_decide_one() {
+        // The fingerprint moved to han-decide; the historical
+        // `han_tuner::cache::preset_fingerprint` path must keep answering
+        // identically (persisted cache filenames depend on it).
+        assert_eq!(
+            preset_fingerprint(&stampede2(4)),
+            han_decide::preset_fingerprint(&stampede2(4))
         );
-        let mut gpuish = *base.level_params().get(1);
-        gpuish.bandwidth *= 2.0;
         assert_ne!(
-            a,
-            preset_fingerprint(&base.with_level_override(1, gpuish)),
-            "level overrides must re-key"
+            preset_fingerprint(&mini(4, 4)),
+            preset_fingerprint(&stampede2(4))
         );
-        assert_ne!(a, preset_fingerprint(&dgx_like(4, 4)));
     }
 
     #[test]
@@ -457,6 +442,61 @@ mod tests {
         assert_eq!(cold.lookup_coll(Coll::Bcast, &cfg, 4096), None);
         assert_eq!(cold.stats().coll_entries, 0);
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_cache_file_is_a_cold_miss() {
+        let dir = std::env::temp_dir().join("han_cost_cache_torn_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let preset = mini(2, 3);
+        let cfg = HanConfig::default();
+
+        // A torn write: a valid prefix of real cache JSON, cut mid-token.
+        let cache = CostCache::new(&preset);
+        cache.record_coll(Coll::Bcast, &cfg, 4096, Time::from_us(5));
+        let full = cache.to_json();
+        let path = CostCache::path_for(&dir, &preset);
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+
+        let loaded = CostCache::load_or_new(&dir, &preset);
+        assert_eq!(loaded.lookup_coll(Coll::Bcast, &cfg, 4096), None);
+        assert_eq!(loaded.stats().coll_entries, 0);
+
+        // Saving over the torn file repairs it.
+        cache.save_under(&dir).unwrap();
+        let warm = CostCache::load_or_new(&dir, &preset);
+        assert_eq!(
+            warm.lookup_coll(Coll::Bcast, &cfg, 4096),
+            Some(Time::from_us(5))
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join("han_cost_cache_atomic_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let preset = mini(2, 5);
+        let cache = CostCache::new(&preset);
+        cache.record_coll(
+            Coll::Allreduce,
+            &HanConfig::default(),
+            1024,
+            Time::from_us(9),
+        );
+        let path = cache.save_under(&dir).unwrap();
+        assert!(path.exists());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path() != path)
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -23,9 +23,10 @@
 //!   exhaustive+heuristics, task-based (HAN), task-based+heuristics.
 //! * [`heuristics`] — the pruning rules of section III-C (SOLO only above
 //!   512 KB segments; chain only with enough segments).
-//! * [`table`] — the lookup table (tuning output) and the decision
-//!   function serving arbitrary inputs, implementing
-//!   [`han_core::ConfigSource`].
+//! * [`table`]/[`decision`] — the lookup table (tuning output) and its
+//!   distilled decision tree now live in the dependency-light
+//!   [`han_decide`] crate, shared with the serving daemon; they are
+//!   re-exported here under their historical paths.
 //! * [`cache`] — a memo table for simulated task and collective costs,
 //!   shared across message sizes, collectives and strategies within a
 //!   run and optionally persisted for warm-started repeated runs.
@@ -38,19 +39,22 @@ pub mod analytic;
 pub mod bound;
 pub mod cache;
 pub mod calibrate;
-pub mod decision;
 pub mod delta;
 pub mod heuristics;
 pub mod model;
 pub mod search;
 pub mod space;
-pub mod table;
 pub mod taskbench;
+
+// The decision-logic modules moved to `han-decide`; keep the historical
+// `han_tuner::table` / `han_tuner::decision` paths working.
+pub use han_decide::{decision, fingerprint, resolve, table};
 
 pub use bound::lower_bound;
 pub use cache::{preset_fingerprint, CostCache};
 pub use decision::DecisionTree;
 pub use delta::{structural_fingerprint, DeltaSim, DeltaStats, SharedBases};
+pub use resolve::Resolution;
 pub use search::{
     achieved_latency, achieved_latency_with_cache, candidate_costs, tune, tune_with_cache,
     tune_with_opts, Strategy, TuneOpts, TuneResult,

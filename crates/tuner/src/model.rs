@@ -60,7 +60,7 @@ pub fn predict(
     // The builders coarsen `fs` on launch-charging (GPU-like) levels; the
     // model must count the tasks they actually emit.
     let preset = *tb.preset();
-    let fs = han_machine::coarsen_fs(cfg.fs.max(1), &preset.node, &preset.level_params());
+    let fs = han_machine::coarsen_fs(cfg.fs.max(1), m, &preset.node, &preset.level_params());
     let u = if m == 0 { 1 } else { m.div_ceil(fs) } as usize;
     let seq = match coll {
         Coll::Bcast => bcast_sequence(u),

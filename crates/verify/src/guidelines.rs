@@ -657,3 +657,140 @@ pub fn classic_agreement(
     }
     g
 }
+
+/// `serve-agreement`: answers served by a live `han-serve` daemon (over
+/// real loopback TCP, through the caching client) must be bit-identical
+/// to direct [`LookupTable::nearest`] lookups on the same table — no
+/// tolerance. The whole probe set runs twice: once against the first
+/// published generation, then again after a second generation hot-swaps
+/// in mid-flight, so the epoch-pointer swap and the client's
+/// generation-flush path are both on the hook for exactness.
+pub fn serve_agreement(
+    preset: &MachinePreset,
+    table: &LookupTable,
+    colls: &[Coll],
+) -> GuidelineReport {
+    serve_agreement_against(preset, table, table, colls)
+}
+
+/// [`serve_agreement`] with the served table decoupled from the direct
+/// one — the test hook that lets `guideline_catches.rs` prove a daemon
+/// serving a tampered table is flagged.
+pub fn serve_agreement_against(
+    preset: &MachinePreset,
+    direct: &LookupTable,
+    served: &LookupTable,
+    colls: &[Coll],
+) -> GuidelineReport {
+    let table = direct;
+    let mut g = GuidelineReport::new(
+        "serve-agreement",
+        "han-serve daemon answers are bit-identical to direct table lookups, across hot-swaps",
+    );
+    let fp = han_tuner::preset_fingerprint(preset);
+    let store = std::sync::Arc::new(han_serve::TableStore::new());
+    store.publish(fp, served.clone());
+    let mut server = match han_serve::serve("127.0.0.1:0", std::sync::Arc::clone(&store)) {
+        Ok(s) => s,
+        Err(e) => {
+            g.check();
+            g.violate(Violation::new(
+                &g.id.clone(),
+                preset.name,
+                "-",
+                "han-serve",
+                0,
+                0,
+                0,
+                format!("cannot bind loopback daemon: {e}"),
+            ));
+            return g;
+        }
+    };
+    let mut client = match han_serve::Client::connect(server.addr()) {
+        Ok(c) => c,
+        Err(e) => {
+            g.check();
+            g.violate(Violation::new(
+                &g.id.clone(),
+                preset.name,
+                "-",
+                "han-serve",
+                0,
+                0,
+                0,
+                format!("cannot connect to daemon: {e}"),
+            ));
+            return g;
+        }
+    };
+    for generation in 1..=2u64 {
+        if generation == 2 {
+            // Hot-swap a second generation in while the client is live,
+            // and flush its buckets so every probe below round-trips.
+            store.publish(fp, served.clone());
+            client.flush_cache();
+        }
+        for &coll in colls {
+            let samples = table.sampled_sizes(coll);
+            // Probe each sample, its neighbourhood, the geometric
+            // midpoints where `nearest` flips winners, and the extremes.
+            let mut probes: Vec<u64> = vec![1, 3, (1 << 30) + 7];
+            for &s in &samples {
+                probes.extend([s.saturating_sub(1), s, s + 1]);
+            }
+            for w in samples.windows(2) {
+                let mid = ((w[0] as f64) * (w[1] as f64)).sqrt() as u64;
+                probes.extend([mid.saturating_sub(1), mid, mid + 1]);
+            }
+            for m in probes {
+                let Some(e) = table.nearest(coll, m) else {
+                    continue;
+                };
+                g.check();
+                match client.resolve(han_serve::Query {
+                    fingerprint: fp,
+                    coll,
+                    m,
+                }) {
+                    Ok(a) => {
+                        if a.cfg != e.cfg
+                            || a.sample != e.m
+                            || a.cost_ps != e.cost_ps
+                            || a.generation != generation
+                        {
+                            g.violate(Violation::new(
+                                &g.id.clone(),
+                                preset.name,
+                                coll.name(),
+                                format!("{}", e.cfg),
+                                m,
+                                a.cost_ps,
+                                e.cost_ps,
+                                format!(
+                                    "served answer (cfg {}, sample {}, gen {}) disagrees with \
+                                     direct lookup (cfg {}, sample {}, gen {generation})",
+                                    a.cfg, a.sample, a.generation, e.cfg, e.m
+                                ),
+                            ));
+                        }
+                    }
+                    Err(err) => {
+                        g.violate(Violation::new(
+                            &g.id.clone(),
+                            preset.name,
+                            coll.name(),
+                            format!("{}", e.cfg),
+                            m,
+                            0,
+                            e.cost_ps,
+                            format!("daemon failed to resolve: {err}"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    server.shutdown();
+    g
+}

@@ -26,6 +26,7 @@
 //! | `analytic-envelope` | analytic models within a bounded factor |
 //! | `classic-agreement` | N-level builders ≡ classic two-level oracles |
 //! | `delta-agreement` | delta re-simulation ≡ full simulation, exactly |
+//! | `serve-agreement` | han-serve daemon answers ≡ direct table lookups, across hot-swaps |
 //!
 //! Every failed inequality becomes a structured [`Violation`] (guideline
 //! id, preset, collective, config, sizes, observed vs bound, relative

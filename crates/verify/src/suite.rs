@@ -5,7 +5,7 @@
 use crate::guidelines::{
     allreduce_composition, analytic_envelope, bcast_composition, bound_soundness,
     classic_agreement, delta_agreement, enumerate_candidates, msg_monotonicity, rank_monotonicity,
-    reduce_vs_allreduce, table_dominance, task_model_accuracy,
+    reduce_vs_allreduce, serve_agreement, table_dominance, task_model_accuracy,
 };
 use crate::report::{GuidelineReport, VerifyReport};
 use han_colls::stack::Coll;
@@ -148,6 +148,11 @@ pub fn run_preset(preset: &MachinePreset, opts: &SuiteOpts) -> Vec<GuidelineRepo
     add(table_dominance(preset, &tuned.table, &cands));
     add(bound_soundness(preset, &cands));
     add(delta_agreement(preset, &cands));
+
+    // The same tuned table, served over loopback TCP by a live daemon:
+    // answers must be bit-identical to direct lookups, before and after
+    // an in-flight generation hot-swap.
+    add(serve_agreement(preset, &tuned.table, &opts.dominance_colls));
 
     // Model-vs-simulation error bands.
     add(task_model_accuracy(

@@ -9,7 +9,10 @@ use han_core::{Han, HanConfig};
 use han_machine::{mini, Flavor};
 use han_mpi::{BufRange, Comm};
 use han_tuner::{tune_with_opts, SearchSpace, Strategy, TuneOpts};
-use han_verify::guidelines::{enumerate_candidates, msg_monotonicity, table_dominance};
+use han_verify::guidelines::{
+    enumerate_candidates, msg_monotonicity, serve_agreement, serve_agreement_against,
+    table_dominance,
+};
 use han_verify::{run_suite_with, SuiteOpts};
 
 /// A deliberately broken stack: beyond 1 MB it silently broadcasts only
@@ -148,6 +151,39 @@ fn tampered_table_is_caught_as_dominance_violation() {
         "a swapped-in losing config must lose to some candidate"
     );
     assert!(bad.violations.iter().any(|v| v.detail.contains("loses to")));
+}
+
+#[test]
+fn tampered_served_table_is_caught_as_serve_disagreement() {
+    let preset = mini(2, 2);
+    let colls = [Coll::Bcast];
+    let tuned = tune_with_opts(
+        &preset,
+        &tiny_space(),
+        &colls,
+        Strategy::Exhaustive,
+        None,
+        TuneOpts {
+            prune: true,
+            delta: true,
+        },
+    )
+    .table;
+
+    // A daemon serving the honest table agrees bit-for-bit.
+    let ok = serve_agreement(&preset, &tuned, &colls);
+    assert!(ok.passed(), "honest daemon must pass: {:?}", ok.violations);
+    assert!(ok.checks > 0);
+
+    // A daemon serving a table with one corrupted cost is flagged.
+    let mut tampered = tuned.clone();
+    tampered.entries[0].cost_ps += 12_345;
+    let bad = serve_agreement_against(&preset, &tuned, &tampered, &colls);
+    assert!(!bad.passed(), "tampered served table must be caught");
+    let v = &bad.violations[0];
+    assert_eq!(v.guideline, "serve-agreement");
+    assert_eq!(v.coll, "bcast");
+    assert!(v.detail.contains("disagrees"));
 }
 
 #[test]

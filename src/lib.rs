@@ -30,8 +30,10 @@
 pub use han_apps as apps;
 pub use han_colls as colls;
 pub use han_core as core;
+pub use han_decide as decide;
 pub use han_machine as machine;
 pub use han_mpi as mpi;
+pub use han_serve as serve;
 pub use han_sim as sim;
 pub use han_tuner as tuner;
 pub use han_verify as verify;
@@ -46,13 +48,15 @@ pub mod prelude {
         TunedOpenMpi, VendorMpi,
     };
     pub use han_core::{ConfigSource, Han, HanConfig, MAX_DEEP};
+    pub use han_decide::{preset_fingerprint, DecisionTree, LookupTable, Resolution};
     pub use han_machine::{
         self as machine, mini, mini3, shaheen2, shaheen2_ppn, shaheen2_sockets, socketize,
         stampede2, stampede2_ppn, Flavor, Machine, MachinePreset, Topology,
     };
     pub use han_mpi::{Comm, DataType, ExecMode, ExecOpts, ProgramBuilder, ReduceOp};
+    pub use han_serve::{Client, Query, TableStore};
     pub use han_sim::Time;
-    pub use han_tuner::{tune, LookupTable, SearchSpace, Strategy, TaskBench};
+    pub use han_tuner::{tune, SearchSpace, Strategy, TaskBench};
 }
 
 #[cfg(test)]
