@@ -1,0 +1,81 @@
+//! The schedule-synthesis benchmark: search throughput and search
+//! quality of `han-synth` on the standard small presets.
+//!
+//! Three machines (mini / mini3 / dgx-like) run the full synthesis —
+//! bound-guided search over the Table-II menu plus the beyond-menu axes
+//! (decoupled trees, explicit sub-segmentation, segment routing,
+//! non-pow2 splits) — and the report captures:
+//!
+//! * **synth_candidates_per_sec** — end-to-end search throughput:
+//!   candidates *disposed of* (simulated or bound-pruned) per wall
+//!   second, across all presets. The bound prune and delta
+//!   re-simulation both push this number up; regressions in either show
+//!   here first.
+//! * **synth_win_ratio** — the fraction of `(preset, coll, m)` groups
+//!   whose synthesized winner strictly beats the best Table-II menu
+//!   schedule — the headline "was the search worth it" number.
+//! * **pareto_points** — total emitted front points; a collapsing front
+//!   means the latency/bandwidth trade-off stopped being explored.
+//!
+//! Results land in `BENCH_synth.json` as `[name, value]` pairs.
+
+use han_colls::Coll;
+use han_machine::{dgx_like, mini, mini3};
+use han_synth::{default_space, synthesize, SynthOpts};
+use std::time::Instant;
+
+fn main() {
+    let presets = [mini(4, 4), mini3(2, 2, 2), dgx_like(2, 4)];
+    let colls = [Coll::Bcast, Coll::Allreduce, Coll::Reduce];
+    let space = default_space();
+
+    let t0 = Instant::now();
+    let results: Vec<_> = presets
+        .iter()
+        .map(|p| synthesize(p, &space, &colls, SynthOpts::default()))
+        .collect();
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let groups: usize = results.iter().map(|r| r.fronts.len()).sum();
+    let wins: usize = results.iter().map(|r| r.strict_wins()).sum();
+    let pareto_points: usize = results
+        .iter()
+        .map(|r| r.fronts.iter().map(|f| f.points.len()).sum::<usize>())
+        .sum();
+    let candidates: u64 = results.iter().map(|r| r.candidates).sum();
+    let simulated: u64 = results.iter().map(|r| r.simulated).sum();
+    let pruned: u64 = results.iter().map(|r| r.pruned).sum();
+    let disposed = simulated + pruned;
+    let synth_candidates_per_sec = disposed as f64 / wall_s.max(1e-9);
+    let synth_win_ratio = wins as f64 / groups.max(1) as f64;
+
+    let rows: Vec<(String, f64)> = vec![
+        ("synth_candidates_per_sec".into(), synth_candidates_per_sec),
+        ("synth_win_ratio".into(), synth_win_ratio),
+        ("pareto_points".into(), pareto_points as f64),
+        ("groups".into(), groups as f64),
+        ("strict_wins".into(), wins as f64),
+        ("candidates".into(), candidates as f64),
+        ("simulated".into(), simulated as f64),
+        ("pruned".into(), pruned as f64),
+        ("wall_s".into(), wall_s),
+    ];
+    // cargo runs benches with cwd = the package dir; anchor the report at
+    // the workspace root where the other results live.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synth.json");
+    match serde_json::to_string_pretty(&rows) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(out, text) {
+                eprintln!("[synth] could not write BENCH_synth.json: {e}");
+            } else {
+                println!(
+                    "[synth] {disposed} candidates disposed in {wall_s:.2}s \
+                     ({synth_candidates_per_sec:.0}/s), win ratio {synth_win_ratio:.2} \
+                     over {groups} groups, {pareto_points} pareto points \
+                     -> BENCH_synth.json"
+                );
+            }
+        }
+        Err(e) => eprintln!("[synth] could not serialize results: {e}"),
+    }
+}

@@ -6,7 +6,13 @@
 //!
 //! `<what>` ∈ `fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //! fig14 fig15 table3 ablation-pipeline ablation-irib ablation-models
-//! verify hetero all`.
+//! verify synth hetero all`.
+//!
+//! `synth` runs schedule synthesis beyond the Table-II menu (han-synth)
+//! on the small presets, re-executes every emitted Pareto-front point
+//! through the full-payload correctness oracle, and writes
+//! `results/synth.json`; any oracle failure, unexpected skip, or a run
+//! with zero strict synth-beats-menu wins exits with code 3.
 //!
 //! `verify` runs the `han-verify` performance-guideline catalog over the
 //! mini / mini3 / socketized presets plus the heterogeneous multi-rail
@@ -184,6 +190,7 @@ fn combo_cfg(imod: InterModule, alg: InterAlg, smod: IntraModule, fs: u64) -> Ha
         ibs: None,
         irs: None,
         deep: [None; han_core::MAX_DEEP],
+        route: None,
     }
 }
 
@@ -938,6 +945,126 @@ fn verify(_cfg: &Cfg) {
     }
 }
 
+/// One persisted front point: `(cfg display, menu?, lat_ps, bw_ps)`.
+type SynthPointRow = (String, bool, u64, u64);
+/// One persisted front: `(coll, m, points, menu_best_ps)`.
+type SynthFrontRow = (String, u64, Vec<SynthPointRow>, Option<u64>);
+
+/// `repro synth`: schedule synthesis beyond the Table-II menu
+/// (han-synth) on the standard small presets. Emits the per-group
+/// latency/bandwidth Pareto fronts, re-executes **every** front point
+/// through the full-payload correctness oracle, and persists
+/// `results/synth.json`. The exit-code gate requires zero correctness
+/// failures, zero unexpected skips, and at least one group where the
+/// synthesized winner strictly beats the best Table-II menu schedule —
+/// the claim that makes synthesis worth shipping.
+fn synth(cfg: &Cfg) {
+    use han_machine::{dgx_like, mini, mini3};
+    use han_synth::{synthesize, verify_schedule, SynthOpts};
+    println!("## synth — schedule synthesis beyond the Table-II menu (han-synth)\n");
+    let presets = vec![mini(4, 4), mini3(2, 2, 2), dgx_like(2, 4)];
+    let space = if cfg.scale == Scale::Mini {
+        han_synth::default_space()
+    } else {
+        SearchSpace {
+            msg_sizes: vec![16 * 1024, 256 * 1024, 2 << 20, 8 << 20],
+            seg_sizes: vec![32 * 1024, 256 * 1024, 1 << 20],
+            inter: SearchSpace::standard().inter,
+            intra: vec![IntraModule::Sm, IntraModule::Solo],
+        }
+    };
+    let opts = SynthOpts {
+        prune: cfg.prune,
+        delta: cfg.delta,
+        ..SynthOpts::default()
+    };
+    let colls = [Coll::Bcast, Coll::Allreduce, Coll::Reduce];
+
+    let mut t = Table::new(&[
+        "preset",
+        "groups",
+        "candidates",
+        "simulated",
+        "pruned",
+        "beamed",
+        "pareto pts",
+        "strict wins",
+        "oracle",
+    ]);
+    let mut json: Vec<(String, Vec<SynthFrontRow>)> = Vec::new();
+    let mut total_wins = 0usize;
+    let mut total_points = 0usize;
+    let mut oracle_failures = 0usize;
+    for preset in &presets {
+        let r = synthesize(preset, &space, &colls, opts);
+        if !r.skipped.is_empty() {
+            gate::fail(format!(
+                "synth on {}: unexpected skips: {:?}",
+                preset.name, r.skipped
+            ));
+        }
+        let mut checked = 0usize;
+        let mut failed = 0usize;
+        for f in &r.fronts {
+            for p in &f.points {
+                checked += 1;
+                if let Err(e) = verify_schedule(preset, &p.cfg, f.coll, f.m, 0) {
+                    failed += 1;
+                    println!("[oracle failure] {}: {e}", preset.name);
+                }
+            }
+        }
+        oracle_failures += failed;
+        let wins = r.strict_wins();
+        total_wins += wins;
+        let points: usize = r.fronts.iter().map(|f| f.points.len()).sum();
+        total_points += points;
+        t.row(vec![
+            preset.name.to_string(),
+            r.fronts.len().to_string(),
+            r.candidates.to_string(),
+            r.simulated.to_string(),
+            r.pruned.to_string(),
+            r.beamed.to_string(),
+            points.to_string(),
+            wins.to_string(),
+            format!("{}/{checked}", checked - failed),
+        ]);
+        json.push((
+            preset.name.to_string(),
+            r.fronts
+                .iter()
+                .map(|f| {
+                    (
+                        f.coll.name().to_string(),
+                        f.m,
+                        f.points
+                            .iter()
+                            .map(|p| (p.cfg.to_string(), p.menu, p.lat_ps, p.bw_ps))
+                            .collect(),
+                        f.menu_best_ps,
+                    )
+                })
+                .collect(),
+        ));
+    }
+    println!("{}", t.render());
+    save_json("synth", &json).ok();
+    println!(
+        "synth: {} presets, {total_points} pareto points, {total_wins} strict \
+         synth-beats-menu win(s) -> results/synth.json",
+        presets.len()
+    );
+    if oracle_failures > 0 {
+        gate::fail(format!(
+            "{oracle_failures} synthesized schedule(s) failed the correctness oracle"
+        ));
+    }
+    if total_wins == 0 {
+        gate::fail("synthesis never strictly beat the Table-II menu".to_string());
+    }
+}
+
 /// `repro hetero`: the HiCCL-style depth-scaling experiment on
 /// heterogeneous GPU-era machines, plus the multi-rail striping win,
 /// persisted to `results/hetero.json`.
@@ -1136,6 +1263,7 @@ fn main() {
         "ablation-irib" => ablation_irib(&cfg),
         "ablation-models" => ablation_models(&cfg),
         "verify" => verify(&cfg),
+        "synth" => synth(&cfg),
         "hetero" => hetero(&cfg),
         "all" => {
             fig2(&cfg);
@@ -1155,11 +1283,12 @@ fn main() {
             ablation_irib(&cfg);
             ablation_models(&cfg);
             verify(&cfg);
+            synth(&cfg);
             hetero(&cfg);
         }
         other => {
             eprintln!(
-                "unknown target '{other}'; expected fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table3|ablation-*|verify|hetero|all"
+                "unknown target '{other}'; expected fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table3|ablation-*|verify|synth|hetero|all"
             );
             std::process::exit(2);
         }

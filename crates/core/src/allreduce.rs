@@ -272,7 +272,7 @@ pub fn build_allreduce(
                 d.extend_from_slice(prev.get(ul));
                 up_deps.set(ul, d);
             }
-            let f = inter_bcast(cx.b, cfg, &up, up_root, &up_bufs, &up_deps);
+            let f = inter_bcast(cx.b, cfg, &up, up_root, &up_bufs, &up_deps, i as u64);
             for ul in 0..nl {
                 issued_leader[ul].extend_from_slice(f.get(ul));
             }
@@ -428,6 +428,27 @@ mod tests {
                 ..HanConfig::default()
             };
             check_sum(&cfg, 4, 2, 400);
+        }
+    }
+
+    #[test]
+    fn routed_configs_sum() {
+        // The reduce direction always stays on `iralg`; only the ib phase
+        // switches trees per segment. Sums must be exact either way.
+        use han_colls::{InterAlg, InterModule};
+        for alt in InterAlg::ALL {
+            if alt == InterAlg::Binomial {
+                continue;
+            }
+            let cfg = HanConfig {
+                fs: 48,
+                imod: InterModule::Adapt,
+                ibalg: InterAlg::Binomial,
+                iralg: InterAlg::Binomial,
+                ..HanConfig::default()
+            }
+            .with_route(2, alt);
+            check_sum(&cfg, 4, 2, 480); // 10 segments, both route windows
         }
     }
 

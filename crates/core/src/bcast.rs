@@ -27,7 +27,11 @@ pub struct BcastBuild {
     pub segments: usize,
 }
 
-/// Dispatch an inter-node broadcast through the configured submodule.
+/// Dispatch an inter-node broadcast of HAN segment `seg` through the
+/// configured submodule. ADAPT honours the config's segment routing:
+/// routed segments ride the alternate tree (see
+/// [`HanConfig::adapt_for_segment`]); Libnbc and route-less configs are
+/// segment-index-oblivious.
 pub(crate) fn inter_bcast(
     b: &mut ProgramBuilder,
     cfg: &HanConfig,
@@ -35,10 +39,11 @@ pub(crate) fn inter_bcast(
     root: usize,
     bufs: &[BufRange],
     deps: &Frontier,
+    seg: u64,
 ) -> Frontier {
     match cfg.imod {
         InterModule::Libnbc => Libnbc.ibcast(b, up, root, bufs, deps),
-        InterModule::Adapt => cfg.adapt().ibcast(b, up, root, bufs, deps),
+        InterModule::Adapt => cfg.adapt_for_segment(seg).ibcast(b, up, root, bufs, deps),
     }
 }
 
@@ -187,7 +192,7 @@ pub fn build_bcast(
             up_deps.set(ul, dep.clone());
         }
         let up_bufs: Vec<BufRange> = up_locals.iter().map(|&l| segs[l][i]).collect();
-        let f_ib = inter_bcast(cx.b, cfg, &up, up_root, &up_bufs, &up_deps);
+        let f_ib = inter_bcast(cx.b, cfg, &up, up_root, &up_bufs, &up_deps, i as u64);
 
         // Task boundary: join ib(i) with sb(i-1) on each leader.
         let mut joins = Vec::with_capacity(up.size());
@@ -318,6 +323,39 @@ mod tests {
     fn non_leader_root_works() {
         // Root 5 is not the lowest rank of its node.
         check_delivery(&HanConfig::default().with_fs(64), 3, 3, 150, 5);
+    }
+
+    #[test]
+    fn routed_configs_deliver() {
+        // Segment routing splits the ib traffic across two tree shapes;
+        // every (primary, alternate) pairing must still deliver every byte.
+        use han_colls::{InterAlg, InterModule};
+        for pri_alg in InterAlg::ALL {
+            for alt in InterAlg::ALL {
+                if alt == pri_alg {
+                    continue;
+                }
+                let cfg = HanConfig {
+                    fs: 64,
+                    imod: InterModule::Adapt,
+                    ibalg: pri_alg,
+                    ..HanConfig::default()
+                }
+                .with_route(3, alt);
+                // 9 segments: both the primary window (i%8 < 3) and the
+                // alternate window exercised, plus an uneven tail.
+                check_delivery(&cfg, 4, 2, 550, 0);
+            }
+        }
+        // pri = 0 sends everything down the alternate tree.
+        let all_alt = HanConfig {
+            fs: 64,
+            imod: InterModule::Adapt,
+            ibalg: InterAlg::Binomial,
+            ..HanConfig::default()
+        }
+        .with_route(0, InterAlg::Chain);
+        check_delivery(&all_alt, 3, 3, 500, 4);
     }
 
     #[test]

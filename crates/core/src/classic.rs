@@ -72,7 +72,7 @@ pub fn build_bcast(
             up_deps.set(ul, dep.clone());
         }
         let up_bufs: Vec<BufRange> = up_locals.iter().map(|&l| segs[l][i]).collect();
-        let f_ib = inter_bcast(cx.b, cfg, &up, up_root, &up_bufs, &up_deps);
+        let f_ib = inter_bcast(cx.b, cfg, &up, up_root, &up_bufs, &up_deps, i as u64);
 
         // Task boundary: join ib(i) with sb(i-1) on each leader.
         let mut joins = Vec::with_capacity(up.size());
@@ -227,7 +227,7 @@ pub fn build_allreduce(
                 d.extend_from_slice(prev.get(ul));
                 up_deps.set(ul, d);
             }
-            let f = inter_bcast(cx.b, cfg, &up, up_root, &up_bufs, &up_deps);
+            let f = inter_bcast(cx.b, cfg, &up, up_root, &up_bufs, &up_deps, i as u64);
             for ul in 0..nl {
                 issued_leader[ul].extend_from_slice(f.get(ul));
             }

@@ -8,6 +8,59 @@ use std::fmt;
 /// (levels 2.. of a [`han_machine::Topology`]) a config can address.
 pub const MAX_DEEP: usize = han_machine::MAX_LEVELS - 2;
 
+/// Period of the segment-routing pattern: of every [`ROUTE_PERIOD`]
+/// consecutive HAN segments, the first `pri` ride the primary `ibalg`
+/// tree and the rest ride the alternate tree.
+pub const ROUTE_PERIOD: u64 = 8;
+
+/// SCCL-style multi-tree segment routing for the inter-node broadcast
+/// phase — a schedule the Table-II menu cannot express. Striping the
+/// segment stream across two trees splits the root's send load: segments
+/// routed to the alternate tree leave through different first hops, so
+/// the trees' wire occupancies overlap instead of serializing on one
+/// root NIC schedule.
+///
+/// Only meaningful with `imod == Adapt` (Libnbc ignores it). The pattern
+/// is periodic with period [`ROUTE_PERIOD`]: segment `i` rides the
+/// primary `ibalg` tree iff `i % ROUTE_PERIOD < pri`, otherwise the
+/// `alt` tree. `pri` is meaningful in `1..ROUTE_PERIOD`; the reduce
+/// phase always keeps `iralg`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegRoute {
+    /// Segments per [`ROUTE_PERIOD`]-window on the primary tree.
+    pub pri: u8,
+    /// The tree carrying the remaining segments.
+    pub alt: InterAlg,
+}
+
+impl Serialize for SegRoute {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("pri".to_string(), (self.pri as u64).to_value()),
+            ("alt".to_string(), self.alt.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SegRoute {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let field = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| Error::custom(format!("missing field {key}")))
+        };
+        Ok(SegRoute {
+            pri: u64::from_value(field("pri")?)? as u8,
+            alt: InterAlg::from_value(field("alt")?)?,
+        })
+    }
+}
+
+impl fmt::Display for SegRoute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.pri, self.alt)
+    }
+}
+
 /// One complete HAN configuration (Table II):
 ///
 /// | symbol  | meaning                                       |
@@ -38,6 +91,10 @@ pub struct HanConfig {
     /// Submodule overrides for levels deeper than the first shared-memory
     /// level: `deep[k]` configures level `k + 2` of the topology.
     pub deep: [Option<IntraModule>; MAX_DEEP],
+    /// Multi-tree segment routing for the inter broadcast phase (synth
+    /// output; `None` — every Table-II configuration — keeps the single
+    /// `ibalg` tree and serializes exactly as before).
+    pub route: Option<SegRoute>,
 }
 
 // Hand-written serde: the historical seven-field Table-II map, with a
@@ -61,6 +118,9 @@ impl Serialize for HanConfig {
                 Value::Seq(self.deep[..=last].iter().map(|d| d.to_value()).collect()),
             ));
         }
+        if let Some(route) = &self.route {
+            map.push(("route".to_string(), route.to_value()));
+        }
         Value::Map(map)
     }
 }
@@ -80,6 +140,10 @@ impl Deserialize for HanConfig {
                 deep[k] = Option::<IntraModule>::from_value(item)?;
             }
         }
+        let route = match v.get("route") {
+            Some(r) => Some(SegRoute::from_value(r)?),
+            None => None,
+        };
         Ok(HanConfig {
             fs: u64::from_value(field("fs")?)?,
             imod: InterModule::from_value(field("imod")?)?,
@@ -89,6 +153,7 @@ impl Deserialize for HanConfig {
             ibs: Option::<u64>::from_value(field("ibs")?)?,
             irs: Option::<u64>::from_value(field("irs")?)?,
             deep,
+            route,
         })
     }
 }
@@ -106,6 +171,7 @@ impl Default for HanConfig {
             ibs: None,
             irs: None,
             deep: [None; MAX_DEEP],
+            route: None,
         }
     }
 }
@@ -120,6 +186,29 @@ impl HanConfig {
             ibs: self.ibs,
             irs: self.irs,
         }
+    }
+
+    /// Whether HAN segment `seg` rides the alternate routed tree in the
+    /// inter broadcast phase (always `false` without a route).
+    pub fn routed(&self, seg: u64) -> bool {
+        match self.route {
+            Some(r) => seg % ROUTE_PERIOD >= r.pri as u64,
+            None => false,
+        }
+    }
+
+    /// The ADAPT instance broadcasting HAN segment `seg`: the primary
+    /// [`HanConfig::adapt`] tree, or — for routed segments — the same
+    /// sub-segmentation over the alternate tree. The reduce direction is
+    /// unaffected by routing.
+    pub fn adapt_for_segment(&self, seg: u64) -> Adapt {
+        let mut a = self.adapt();
+        if let Some(r) = self.route {
+            if self.routed(seg) {
+                a.balg = r.alt;
+            }
+        }
+        a
     }
 
     /// Number of HAN segments for a message of `bytes`.
@@ -169,6 +258,14 @@ impl HanConfig {
         self.deep[level - 2] = Some(smod);
         self
     }
+
+    /// Stripe the inter broadcast segment stream across two trees:
+    /// `pri` of every [`ROUTE_PERIOD`] segments on `ibalg`, the rest on
+    /// `alt`.
+    pub fn with_route(mut self, pri: u8, alt: InterAlg) -> Self {
+        self.route = Some(SegRoute { pri, alt });
+        self
+    }
 }
 
 impl fmt::Display for HanConfig {
@@ -199,6 +296,9 @@ impl fmt::Display for HanConfig {
                     None => write!(f, "-")?,
                 }
             }
+        }
+        if let Some(route) = &self.route {
+            write!(f, " route={route}")?;
         }
         Ok(())
     }
@@ -271,6 +371,33 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         assert!(!json.contains("deep"), "{json}");
         assert!(json.starts_with("{\"fs\":"), "{json}");
+    }
+
+    #[test]
+    fn route_roundtrip_and_segment_dispatch() {
+        let c = HanConfig::default().with_route(5, InterAlg::Chain);
+        // Segments 0..4 of each 8-window ride ibalg, 5..7 ride the alt.
+        assert!(!c.routed(0));
+        assert!(!c.routed(4));
+        assert!(c.routed(5));
+        assert!(c.routed(7));
+        assert!(!c.routed(8), "pattern is periodic");
+        assert_eq!(c.adapt_for_segment(0).balg, InterAlg::Binomial);
+        assert_eq!(c.adapt_for_segment(6).balg, InterAlg::Chain);
+        assert_eq!(
+            c.adapt_for_segment(6).ralg,
+            c.iralg,
+            "reduce tree unaffected"
+        );
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("route"), "{json}");
+        let back: HanConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+        assert!(c.to_string().contains("route=5/chain"), "{c}");
+        // Route-less configs keep the byte-stable Table-II serialization.
+        let plain = HanConfig::default();
+        assert!(!serde_json::to_string(&plain).unwrap().contains("route"));
+        assert!(!plain.routed(3));
     }
 
     #[test]

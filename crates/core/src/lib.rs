@@ -74,5 +74,5 @@ pub mod han;
 pub mod levels;
 pub mod task;
 
-pub use config::{HanConfig, MAX_DEEP};
+pub use config::{HanConfig, SegRoute, MAX_DEEP, ROUTE_PERIOD};
 pub use han::{ConfigSource, Han};

@@ -210,7 +210,10 @@ pub fn task_program(
     if spec.ib {
         let bufs = alloc_bufs(&mut cx);
         let up_bufs: Vec<BufRange> = up_locals.iter().map(|&l| bufs[l]).collect();
-        let f = inter_bcast(cx.b, cfg, &up, up_root, &up_bufs, &empty_up);
+        // Task benchmarking probes the primary tree; route-dependent
+        // alternates differ only in shape, which the ib task model
+        // already captures through the tree-cost terms.
+        let f = inter_bcast(cx.b, cfg, &up, up_root, &up_bufs, &empty_up, 0);
         for ul in 0..nl {
             leader_ops[ul].extend_from_slice(f.get(ul));
         }

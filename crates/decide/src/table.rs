@@ -69,6 +69,34 @@ impl LookupTable {
         });
     }
 
+    /// Insert-or-improve: replace the existing `(coll, m)` entry when the
+    /// new cost is strictly cheaper, insert when the sample is new, and
+    /// leave the table untouched otherwise. Returns whether the table
+    /// changed. This is how synthesized schedules merge into a tuned
+    /// table without ever regressing an entry.
+    pub fn upsert(&mut self, coll: Coll, m: u64, cfg: HanConfig, cost: Time) -> bool {
+        let cost_ps = cost.as_ps();
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| e.coll == coll.name() && e.m == m)
+        {
+            Some(e) => {
+                if cost_ps < e.cost_ps {
+                    e.cfg = cfg;
+                    e.cost_ps = cost_ps;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                self.insert(coll, m, cfg, cost);
+                true
+            }
+        }
+    }
+
     /// Exact-sample lookup.
     pub fn get(&self, coll: Coll, m: u64) -> Option<&Entry> {
         self.entries
@@ -177,6 +205,39 @@ mod tests {
         // Unknown collective: falls back to the default config.
         let cfg = t.config(Coll::Gather, 4, 8, 64);
         assert_eq!(cfg, HanConfig::default());
+    }
+
+    #[test]
+    fn upsert_improves_without_regressing() {
+        let mut t = table();
+        // Worse cost: no change.
+        assert!(!t.upsert(
+            Coll::Bcast,
+            1024,
+            HanConfig::default().with_fs(4096),
+            Time::from_us(20),
+        ));
+        assert_eq!(t.get(Coll::Bcast, 1024).unwrap().cfg.fs, 1024);
+        // Equal cost: keep the incumbent (stability under re-merge).
+        assert!(!t.upsert(
+            Coll::Bcast,
+            1024,
+            HanConfig::default().with_fs(4096),
+            Time::from_us(10),
+        ));
+        assert_eq!(t.get(Coll::Bcast, 1024).unwrap().cfg.fs, 1024);
+        // Strictly better: replace in place, no duplicate entry.
+        assert!(t.upsert(
+            Coll::Bcast,
+            1024,
+            HanConfig::default().with_fs(4096),
+            Time::from_us(5),
+        ));
+        assert_eq!(t.get(Coll::Bcast, 1024).unwrap().cfg.fs, 4096);
+        assert_eq!(t.entries.iter().filter(|e| e.m == 1024).count(), 1);
+        // New sample: plain insert.
+        assert!(t.upsert(Coll::Allreduce, 64, HanConfig::default(), Time::from_us(1),));
+        assert_eq!(t.entries.len(), 4);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Pareto fronts over the (latency, bandwidth) objective pair.
+
+use han_colls::Coll;
+use han_core::HanConfig;
+
+/// One nondominated schedule: its simulated cost at the latency probe
+/// size (`lat_ps`) and at the full message size (`bw_ps`), both in
+/// picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontPoint {
+    pub cfg: HanConfig,
+    /// Whether the Table-II menu already enumerates this schedule.
+    pub menu: bool,
+    pub lat_ps: u64,
+    pub bw_ps: u64,
+}
+
+/// The Pareto front for one `(coll, m)` group, points sorted by
+/// ascending latency (and therefore strictly descending bandwidth cost).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Front {
+    pub coll: Coll,
+    pub m: u64,
+    pub points: Vec<FrontPoint>,
+    /// Best bandwidth cost among the *menu* candidates of this group
+    /// (`None` when every menu candidate was unsupported) — the baseline
+    /// the synthesized winner is measured against.
+    pub menu_best_ps: Option<u64>,
+}
+
+impl Front {
+    /// The bandwidth-optimal point — the entry a tuned lookup table
+    /// serves for this `(coll, m)`.
+    pub fn winner(&self) -> Option<&FrontPoint> {
+        self.points.last()
+    }
+
+    /// Does the synthesized winner strictly beat the best menu schedule
+    /// at the full message size?
+    pub fn strict_win(&self) -> bool {
+        match (self.winner(), self.menu_best_ps) {
+            (Some(w), Some(mb)) => !w.menu && w.bw_ps < mb,
+            _ => false,
+        }
+    }
+}
+
+/// Reduce a point cloud to its nondominated subset.
+///
+/// Points are stably sorted by `(lat_ps, bw_ps)` and swept keeping each
+/// point whose bandwidth cost strictly improves on everything kept so
+/// far; duplicates (identical cost pairs) collapse onto the first
+/// occurrence in input order, so the front is deterministic under any
+/// permutation-free input ordering.
+pub fn pareto_front(mut points: Vec<FrontPoint>) -> Vec<FrontPoint> {
+    points.sort_by_key(|p| (p.lat_ps, p.bw_ps));
+    let mut front: Vec<FrontPoint> = Vec::new();
+    for p in points {
+        match front.last() {
+            Some(last) if p.bw_ps >= last.bw_ps => {}
+            _ => front.push(p),
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(lat: u64, bw: u64) -> FrontPoint {
+        FrontPoint {
+            cfg: HanConfig::default(),
+            menu: false,
+            lat_ps: lat,
+            bw_ps: bw,
+        }
+    }
+
+    #[test]
+    fn front_is_nondominated_and_sorted() {
+        let f = pareto_front(vec![pt(5, 5), pt(1, 10), pt(3, 7), pt(2, 12), pt(4, 7)]);
+        let pairs: Vec<_> = f.iter().map(|p| (p.lat_ps, p.bw_ps)).collect();
+        // (2,12) dominated by (1,10); (4,7) dominated by (3,7).
+        assert_eq!(pairs, vec![(1, 10), (3, 7), (5, 5)]);
+    }
+
+    #[test]
+    fn duplicates_collapse_to_first() {
+        let mut a = pt(1, 10);
+        a.menu = true;
+        let f = pareto_front(vec![a, pt(1, 10)]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].menu, "first occurrence wins ties");
+    }
+
+    #[test]
+    fn single_point_front() {
+        let f = pareto_front(vec![pt(7, 7)]);
+        assert_eq!(f.len(), 1);
+        assert!(pareto_front(Vec::new()).is_empty());
+    }
+}

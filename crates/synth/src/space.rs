@@ -1,0 +1,187 @@
+//! Candidate enumeration: the Table-II menu plus the beyond-menu axes.
+
+use han_colls::{Coll, InterAlg, InterModule};
+use han_core::HanConfig;
+use han_machine::MachinePreset;
+use han_tuner::SearchSpace;
+
+/// Segment/sub-segment sizes below this are pure overhead on the wire
+/// model — synthesis never emits them.
+pub const MIN_FS: u64 = 1024;
+
+/// One synthesis candidate: a buildable configuration plus whether the
+/// Table-II menu already enumerates it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    pub cfg: HanConfig,
+    pub menu: bool,
+}
+
+/// The reduced search space synthesis defaults to (tests, `repro synth`
+/// smoke): three message sizes spanning latency- to bandwidth-bound,
+/// two segment sizes, the full algorithm cross.
+pub fn default_space() -> SearchSpace {
+    SearchSpace {
+        msg_sizes: vec![16 * 1024, 256 * 1024, 2 << 20],
+        seg_sizes: vec![32 * 1024, 256 * 1024],
+        inter: vec![
+            (InterModule::Libnbc, InterAlg::Binomial),
+            (InterModule::Adapt, InterAlg::Binomial),
+            (InterModule::Adapt, InterAlg::Chain),
+        ],
+        intra: han_colls::IntraModule::ALL.to_vec(),
+    }
+}
+
+/// Enumerate every candidate for one `(coll, m)` group: the unpruned
+/// Table-II menu first (in menu order), then the beyond-menu extras,
+/// deduplicated with the first occurrence winning (so a derived config
+/// that collapses onto a menu entry keeps its `menu` flag).
+///
+/// Beyond-menu axes, each derived from a menu entry:
+///
+/// 1. decoupled `iralg != ibalg` for reductions (broadcast ignores
+///    `iralg`, so splitting it there would only duplicate costs);
+/// 2. explicit wire sub-segmentation `ibs = fs/2, fs/4` (and matching
+///    `irs` for reductions), floored at [`MIN_FS`];
+/// 3. segment routing for ADAPT broadcast phases with ≥ 2 segments:
+///    primary window `pri ∈ {4, 6}` of the 8-segment route period, every
+///    alternate tree shape (`Reduce` has no ib phase, so it is excluded);
+/// 4. non-power-of-two segment sizes: exact k-way splits `⌈m/k⌉` for
+///    `k ∈ {3, 5}`, attached to every max-`fs` menu entry.
+pub fn candidates(
+    space: &SearchSpace,
+    preset: &MachinePreset,
+    coll: Coll,
+    m: u64,
+) -> Vec<Candidate> {
+    let menu = space.configs_for(m, &preset.topology, false);
+    let mut out: Vec<Candidate> = menu
+        .iter()
+        .map(|&cfg| Candidate { cfg, menu: true })
+        .collect();
+    let reduces = matches!(coll, Coll::Allreduce | Coll::Reduce);
+    let push = |out: &mut Vec<Candidate>, cfg: HanConfig| {
+        if !out.iter().any(|c| c.cfg == cfg) {
+            out.push(Candidate { cfg, menu: false });
+        }
+    };
+    let base_list = out.clone();
+    for c in &base_list {
+        let base = c.cfg;
+        // Axis 1: decoupled reduce tree.
+        if reduces && base.imod == InterModule::Adapt {
+            for alg in InterAlg::ALL {
+                if alg != base.iralg {
+                    let mut d = base;
+                    d.iralg = alg;
+                    push(&mut out, d);
+                }
+            }
+        }
+        // Axis 2: explicit wire sub-segmentation.
+        for div in [2u64, 4] {
+            let sub = base.fs / div;
+            if sub >= MIN_FS {
+                let mut d = base;
+                d.ibs = Some(sub);
+                if reduces {
+                    d.irs = Some(sub);
+                }
+                push(&mut out, d);
+            }
+        }
+        // Axis 3: segment routing (ib phase only — Reduce has none).
+        if base.imod == InterModule::Adapt && coll != Coll::Reduce && base.segments(m) >= 2 {
+            for pri in [4u8, 6] {
+                for alt in InterAlg::ALL {
+                    if alt != base.ibalg {
+                        push(&mut out, base.with_route(pri, alt));
+                    }
+                }
+            }
+        }
+    }
+    // Axis 4: non-pow2 exact k-way splits, one per max-fs menu entry (the
+    // max-fs slice carries exactly one entry per algorithm combination).
+    let max_fs = menu.iter().map(|c| c.fs).max().unwrap_or(0);
+    for k in [3u64, 5] {
+        let fs = m.div_ceil(k);
+        if fs < MIN_FS {
+            continue;
+        }
+        for c in &base_list {
+            if c.cfg.fs == max_fs {
+                let mut d = c.cfg;
+                d.fs = fs;
+                push(&mut out, d);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use han_machine::mini;
+
+    #[test]
+    fn menu_prefix_is_preserved() {
+        let space = default_space();
+        let preset = mini(4, 4);
+        let m = 2 << 20;
+        let menu = space.configs_for(m, &preset.topology, false);
+        let cands = candidates(&space, &preset, Coll::Bcast, m);
+        assert!(cands.len() > menu.len(), "synthesis must extend the menu");
+        for (c, cfg) in cands.iter().zip(&menu) {
+            assert!(c.menu);
+            assert_eq!(c.cfg, *cfg);
+        }
+        // Everything after the menu prefix is genuinely new.
+        for c in &cands[menu.len()..] {
+            assert!(!c.menu);
+            assert!(!menu.contains(&c.cfg));
+        }
+    }
+
+    #[test]
+    fn axes_respect_collective_shape() {
+        let space = default_space();
+        let preset = mini(4, 4);
+        let m = 2 << 20;
+        let bcast = candidates(&space, &preset, Coll::Bcast, m);
+        // Broadcast ignores iralg: no decoupled-tree candidates.
+        assert!(bcast
+            .iter()
+            .filter(|c| !c.menu && c.cfg.route.is_none())
+            .all(|c| c.cfg.iralg == c.cfg.ibalg));
+        // But it does route.
+        assert!(bcast.iter().any(|c| c.cfg.route.is_some()));
+        // Reduce has no ib phase: no routed candidates, but decoupled
+        // trees appear.
+        let reduce = candidates(&space, &preset, Coll::Reduce, m);
+        assert!(reduce.iter().all(|c| c.cfg.route.is_none()));
+        assert!(reduce.iter().any(|c| c.cfg.iralg != c.cfg.ibalg));
+        // Non-pow2 splits appear for every collective.
+        assert!(reduce.iter().any(|c| !c.cfg.fs.is_power_of_two()));
+    }
+
+    #[test]
+    fn no_duplicates_and_floors_hold() {
+        let space = default_space();
+        let preset = mini(2, 2);
+        for coll in [Coll::Bcast, Coll::Allreduce, Coll::Reduce] {
+            for &m in &space.msg_sizes {
+                let cands = candidates(&space, &preset, coll, m);
+                for (i, a) in cands.iter().enumerate() {
+                    assert!(a.cfg.ibs.map_or(true, |s| s >= MIN_FS));
+                    assert!(a.cfg.fs >= MIN_FS || a.cfg.fs == m.min(a.cfg.fs));
+                    for b in &cands[i + 1..] {
+                        assert_ne!(a.cfg, b.cfg, "duplicate candidate at m={m}");
+                    }
+                }
+            }
+        }
+    }
+}

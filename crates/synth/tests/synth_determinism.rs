@@ -1,0 +1,114 @@
+//! Determinism wall: the emitted Pareto fronts are bit-identical across
+//! worker counts, with and without delta re-simulation, and with the
+//! front-preserving prune on or off.
+
+use han_colls::{Coll, InterAlg, InterModule, IntraModule};
+use han_machine::{mini, mini3, MachinePreset};
+use han_synth::{synthesize, SynthOpts, SynthResult};
+use han_tuner::SearchSpace;
+
+fn space() -> SearchSpace {
+    SearchSpace {
+        msg_sizes: vec![16 * 1024, 256 * 1024],
+        seg_sizes: vec![16 * 1024, 128 * 1024],
+        inter: vec![
+            (InterModule::Libnbc, InterAlg::Binomial),
+            (InterModule::Adapt, InterAlg::Binomial),
+            (InterModule::Adapt, InterAlg::Chain),
+        ],
+        intra: vec![IntraModule::Sm, IntraModule::Solo],
+    }
+}
+
+const COLLS: [Coll; 3] = [Coll::Bcast, Coll::Allreduce, Coll::Reduce];
+
+fn run(preset: &MachinePreset, opts: SynthOpts) -> SynthResult {
+    synthesize(preset, &space(), &COLLS, opts)
+}
+
+fn assert_same_fronts(a: &SynthResult, b: &SynthResult, what: &str) {
+    assert_eq!(a.fronts.len(), b.fronts.len(), "{what}: front count");
+    for (fa, fb) in a.fronts.iter().zip(&b.fronts) {
+        assert_eq!(fa, fb, "{what}: front for ({:?}, {})", fa.coll, fa.m);
+    }
+}
+
+#[test]
+fn fronts_are_identical_across_worker_counts() {
+    for preset in [mini(2, 2), mini3(2, 2, 2)] {
+        let one = run(
+            &preset,
+            SynthOpts {
+                workers: Some(1),
+                ..SynthOpts::default()
+            },
+        );
+        let many = run(
+            &preset,
+            SynthOpts {
+                workers: Some(4),
+                ..SynthOpts::default()
+            },
+        );
+        assert_same_fronts(&one, &many, "1 vs 4 workers");
+        // The scan itself is deterministic too, not just the front.
+        assert_eq!(one.simulated, many.simulated);
+        assert_eq!(one.pruned, many.pruned);
+        assert_eq!(one.samples.len(), many.samples.len());
+        for (sa, sb) in one.samples.iter().zip(&many.samples) {
+            assert_eq!((sa.cfg, sa.lat, sa.bw), (sb.cfg, sb.lat, sb.bw));
+        }
+    }
+}
+
+#[test]
+fn delta_resimulation_is_bit_identical() {
+    let preset = mini(2, 2);
+    let with = run(
+        &preset,
+        SynthOpts {
+            workers: Some(1),
+            delta: true,
+            ..SynthOpts::default()
+        },
+    );
+    let without = run(
+        &preset,
+        SynthOpts {
+            workers: Some(1),
+            delta: false,
+            ..SynthOpts::default()
+        },
+    );
+    assert_same_fronts(&with, &without, "delta vs no-delta");
+    for (sa, sb) in with.samples.iter().zip(&without.samples) {
+        assert_eq!((sa.lat, sa.bw), (sb.lat, sb.bw), "cost for {}", sa.cfg);
+    }
+}
+
+#[test]
+fn pruning_preserves_the_front_exactly() {
+    for preset in [mini(2, 2), mini3(2, 2, 2)] {
+        let pruned = run(
+            &preset,
+            SynthOpts {
+                workers: Some(1),
+                prune: true,
+                ..SynthOpts::default()
+            },
+        );
+        let full = run(
+            &preset,
+            SynthOpts {
+                workers: Some(1),
+                prune: false,
+                ..SynthOpts::default()
+            },
+        );
+        // The pruned scan may simulate fewer candidates…
+        assert!(pruned.simulated <= full.simulated);
+        // …but the emitted fronts and winners are exactly the same.
+        assert_same_fronts(&pruned, &full, "prune vs full");
+        assert_eq!(pruned.strict_wins(), full.strict_wins());
+    }
+}

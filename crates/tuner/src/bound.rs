@@ -107,6 +107,32 @@ pub fn lower_bound(preset: &MachinePreset, cfg: &HanConfig, coll: Coll, m: u64) 
             .sum()
     };
 
+    // Root wire occupancy of the ib phase: one send per child per
+    // (sub-)segment. With segment routing the tree — and so the root's
+    // degree — varies by segment index, exactly as the builders dispatch
+    // it, so the per-segment sum stays an exact conservation term (and
+    // collapses to `seg_sum × deg` for route-less configs).
+    let ib_wire = |fs: u64| -> Time {
+        let (deg, ibs, _) = inter_root(cfg, nl, false);
+        match cfg.route {
+            Some(r) if cfg.imod == InterModule::Adapt => {
+                let deg_alt = children(r.alt.shape(), nl, 0).len() as u64;
+                segment_sizes(m, fs)
+                    .enumerate()
+                    .map(|(i, s)| {
+                        let d = if (i as u64) % han_core::ROUTE_PERIOD < r.pri as u64 {
+                            deg
+                        } else {
+                            deg_alt
+                        };
+                        subseg_sum(s, ibs, &wire) * d
+                    })
+                    .sum()
+            }
+            _ => seg_sum(fs, ibs, &wire) * deg,
+        }
+    };
+
     // Root CPU time merging `k − 1` contributions per intra level it
     // leads, plus the inter-node reduce tree (allreduce/reduce only).
     let root_reduce_cpu = |fs: u64| -> Time {
@@ -134,8 +160,7 @@ pub fn lower_bound(preset: &MachinePreset, cfg: &HanConfig, coll: Coll, m: u64) 
             let fs = han_machine::coarsen_fs(cfg.fs.max(1), m, node, &lv);
             let mut best = Time::ZERO;
             if nl > 1 {
-                let (deg, ibs, _) = inter_root(cfg, nl, false);
-                best = best.max(seg_sum(fs, ibs, &wire) * deg);
+                best = best.max(ib_wire(fs));
             }
             if world > nl {
                 // A pure consumer cross-copies every segment once.
@@ -150,8 +175,7 @@ pub fn lower_bound(preset: &MachinePreset, cfg: &HanConfig, coll: Coll, m: u64) 
                 let (deg_r, irs, _) = inter_root(cfg, nl, true);
                 best = best.max(seg_sum(fs, irs, &wire) * deg_r);
                 if coll == Coll::Allreduce {
-                    let (deg_b, ibs, _) = inter_root(cfg, nl, false);
-                    best = best.max(seg_sum(fs, ibs, &wire) * deg_b);
+                    best = best.max(ib_wire(fs));
                 }
             }
             if coll == Coll::Allreduce && world > nl {

@@ -61,6 +61,7 @@ mod tests {
             ibs: None,
             irs: None,
             deep: [None; han_core::MAX_DEEP],
+            route: None,
         }
     }
 

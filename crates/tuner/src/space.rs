@@ -93,6 +93,7 @@ impl SearchSpace {
                         ibs: None,
                         irs: None,
                         deep: [None; MAX_DEEP],
+                        route: None,
                     };
                     if heuristic && !heuristics::admit(&cfg, m, nodes) {
                         continue;
@@ -121,6 +122,7 @@ impl SearchSpace {
                         ibs: None,
                         irs: None,
                         deep: [None; MAX_DEEP],
+                        route: None,
                     };
                     // For seg-level pruning only segment-dependent rules
                     // apply (the chain rule needs m; use a permissive

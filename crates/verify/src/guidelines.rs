@@ -29,6 +29,7 @@ use han_core::{classic, Han, HanConfig};
 use han_machine::{Machine, MachinePreset, Topology};
 use han_mpi::{execute, Comm, DataType, ExecOpts, Executor, ProgramBuilder, Recording, ReduceOp};
 use han_sim::Time;
+use han_synth::SynthResult;
 use han_tuner::model::predict;
 use han_tuner::table::LookupTable;
 use han_tuner::{candidate_costs, lower_bound, structural_fingerprint, SearchSpace, TaskBench};
@@ -442,6 +443,102 @@ pub fn bound_soundness(preset: &MachinePreset, candidates: &CandidateSet) -> Gui
                     lb.as_ps(),
                     t.as_ps(),
                     format!("lower bound {lb} > simulated cost {t}"),
+                ));
+            }
+        }
+    }
+    g
+}
+
+/// `synth-dominance`: the schedule-synthesis Pareto fronts must dominate
+/// the Table-II menu — the front's bandwidth-optimal winner never costs
+/// more than the best menu schedule of the same `(coll, m)` group, and
+/// no simulated sample may strictly dominate a point the front kept.
+/// Zero tolerance: the menu subset is always simulated exactly, so a
+/// losing winner means the search dropped a schedule it had in hand.
+pub fn synth_dominance(preset: &MachinePreset, synth: &SynthResult) -> GuidelineReport {
+    let mut g = GuidelineReport::new(
+        "synth-dominance",
+        "synthesized front winners beat or tie the Table-II menu winner",
+    );
+    for f in &synth.fronts {
+        let Some(w) = f.winner() else { continue };
+        if let Some(mb) = f.menu_best_ps {
+            g.check();
+            if w.bw_ps > mb {
+                g.violate(Violation::new(
+                    &g.id.clone(),
+                    preset.name,
+                    f.coll.name(),
+                    format!("{}", w.cfg),
+                    f.m,
+                    w.bw_ps,
+                    mb,
+                    format!(
+                        "synthesized winner {} ({} ps) loses to menu best ({mb} ps)",
+                        w.cfg, w.bw_ps
+                    ),
+                ));
+            }
+        }
+        for p in &f.points {
+            g.check();
+            let dominated = synth.samples.iter().find(|s| {
+                s.coll == f.coll
+                    && s.m == f.m
+                    && s.lat.as_ps() <= p.lat_ps
+                    && s.bw.as_ps() <= p.bw_ps
+                    && (s.lat.as_ps() < p.lat_ps || s.bw.as_ps() < p.bw_ps)
+            });
+            if let Some(s) = dominated {
+                g.violate(Violation::new(
+                    &g.id.clone(),
+                    preset.name,
+                    f.coll.name(),
+                    format!("{}", p.cfg),
+                    f.m,
+                    p.bw_ps,
+                    s.bw.as_ps(),
+                    format!(
+                        "front point {} (lat {}, bw {}) is dominated by sample {} (lat {}, bw {})",
+                        p.cfg,
+                        p.lat_ps,
+                        p.bw_ps,
+                        s.cfg,
+                        s.lat.as_ps(),
+                        s.bw.as_ps()
+                    ),
+                ));
+            }
+        }
+    }
+    g
+}
+
+/// `synth-bound-soundness`: the analytic lower bound used to steer the
+/// synthesis search must stay below the simulated cost of every sample
+/// it admitted — at the bandwidth size *and* at the latency probe size,
+/// with zero tolerance, since the front-preserving prune is only exact
+/// when the bounds are admissible in both objectives.
+pub fn synth_bound_soundness(preset: &MachinePreset, synth: &SynthResult) -> GuidelineReport {
+    let mut g = GuidelineReport::new(
+        "synth-bound-soundness",
+        "the synthesis lower bound never exceeds simulated cost in either objective",
+    );
+    for s in &synth.samples {
+        for (what, bound, cost) in [("bw", s.bound_bw, s.bw), ("lat", s.bound_lat, s.lat)] {
+            let Some(lb) = bound else { continue };
+            g.check();
+            if lb > cost {
+                g.violate(Violation::new(
+                    &g.id.clone(),
+                    preset.name,
+                    s.coll.name(),
+                    format!("{}", s.cfg),
+                    s.m,
+                    lb.as_ps(),
+                    cost.as_ps(),
+                    format!("{what} bound {lb} > simulated cost {cost}"),
                 ));
             }
         }

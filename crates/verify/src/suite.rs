@@ -5,7 +5,8 @@
 use crate::guidelines::{
     allreduce_composition, analytic_envelope, bcast_composition, bound_soundness,
     classic_agreement, delta_agreement, enumerate_candidates, msg_monotonicity, rank_monotonicity,
-    reduce_vs_allreduce, serve_agreement, table_dominance, task_model_accuracy,
+    reduce_vs_allreduce, serve_agreement, synth_bound_soundness, synth_dominance, table_dominance,
+    task_model_accuracy,
 };
 use crate::report::{GuidelineReport, VerifyReport};
 use han_colls::stack::Coll;
@@ -148,6 +149,18 @@ pub fn run_preset(preset: &MachinePreset, opts: &SuiteOpts) -> Vec<GuidelineRepo
     add(table_dominance(preset, &tuned.table, &cands));
     add(bound_soundness(preset, &cands));
     add(delta_agreement(preset, &cands));
+
+    // Schedule synthesis over the same space: front winners must
+    // dominate the menu, and the bound steering the search must be
+    // admissible in both objectives.
+    let synth = han_synth::synthesize(
+        preset,
+        &opts.space,
+        &opts.dominance_colls,
+        han_synth::SynthOpts::default(),
+    );
+    add(synth_dominance(preset, &synth));
+    add(synth_bound_soundness(preset, &synth));
 
     // The same tuned table, served over loopback TCP by a live daemon:
     // answers must be bit-identical to direct lookups, before and after

@@ -11,7 +11,7 @@ use han_mpi::{BufRange, Comm};
 use han_tuner::{tune_with_opts, SearchSpace, Strategy, TuneOpts};
 use han_verify::guidelines::{
     enumerate_candidates, msg_monotonicity, serve_agreement, serve_agreement_against,
-    table_dominance,
+    synth_bound_soundness, synth_dominance, table_dominance,
 };
 use han_verify::{run_suite_with, SuiteOpts};
 
@@ -184,6 +184,45 @@ fn tampered_served_table_is_caught_as_serve_disagreement() {
     assert_eq!(v.guideline, "serve-agreement");
     assert_eq!(v.coll, "bcast");
     assert!(v.detail.contains("disagrees"));
+}
+
+#[test]
+fn tampered_synth_front_is_caught() {
+    let preset = mini(2, 2);
+    let mut synth = han_synth::synthesize(
+        &preset,
+        &tiny_space(),
+        &[Coll::Bcast],
+        han_synth::SynthOpts::default(),
+    );
+    assert!(synth_dominance(&preset, &synth).passed());
+    assert!(synth_bound_soundness(&preset, &synth).passed());
+
+    // Inflate a front winner past the menu best: dominance must flag it.
+    let mut tampered = han_synth::synthesize(
+        &preset,
+        &tiny_space(),
+        &[Coll::Bcast],
+        han_synth::SynthOpts::default(),
+    );
+    let f = &mut tampered.fronts[0];
+    let mb = f.menu_best_ps.unwrap();
+    f.points.last_mut().unwrap().bw_ps = mb + 1_000_000;
+    let bad = synth_dominance(&preset, &tampered);
+    assert!(!bad.passed(), "inflated winner must be caught");
+    assert_eq!(bad.violations[0].guideline, "synth-dominance");
+
+    // Deflate a sample below its own lower bound: bound-soundness must
+    // flag it.
+    let s = synth
+        .samples
+        .iter_mut()
+        .find(|s| s.bound_bw.is_some())
+        .expect("bounded sample");
+    s.bw = han_sim::Time::from_ps(s.bound_bw.unwrap().as_ps() / 2);
+    let bad = synth_bound_soundness(&preset, &synth);
+    assert!(!bad.passed(), "sub-bound cost must be caught");
+    assert_eq!(bad.violations[0].guideline, "synth-bound-soundness");
 }
 
 #[test]

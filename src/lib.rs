@@ -35,6 +35,7 @@ pub use han_machine as machine;
 pub use han_mpi as mpi;
 pub use han_serve as serve;
 pub use han_sim as sim;
+pub use han_synth as synth;
 pub use han_tuner as tuner;
 pub use han_verify as verify;
 
@@ -56,6 +57,7 @@ pub mod prelude {
     pub use han_mpi::{Comm, DataType, ExecMode, ExecOpts, ProgramBuilder, ReduceOp};
     pub use han_serve::{Client, Query, TableStore};
     pub use han_sim::Time;
+    pub use han_synth::{synthesize, SynthOpts, SynthResult};
     pub use han_tuner::{tune, SearchSpace, Strategy, TaskBench};
 }
 

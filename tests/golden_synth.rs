@@ -1,0 +1,133 @@
+//! Golden-file regression for schedule synthesis: the full Pareto fronts
+//! of a reduced-scale synthesis run on two machine shapes are pinned in
+//! `tests/golden/synth_fronts.json`. Any change to the simulator, the
+//! builders, the candidate enumeration, or the search that shifts a
+//! front point — or its costs beyond a float tolerance — fails here
+//! with a diff.
+//!
+//! To re-bless after an *intentional* change:
+//!
+//! ```text
+//! HAN_BLESS=1 cargo test --test golden_synth
+//! ```
+
+use han::prelude::*;
+use han::synth::synthesize;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// One pinned front point. The config is pinned by its display form —
+/// stable, diff-friendly, and exactly as reports print it.
+#[derive(Debug, Serialize, Deserialize)]
+struct GoldenPoint {
+    preset: String,
+    coll: String,
+    m: u64,
+    cfg: String,
+    menu: bool,
+    lat_ps: u64,
+    bw_ps: u64,
+}
+
+/// Costs must match within 0.01%; the point set, its order, and every
+/// config must match exactly.
+const COST_RTOL: f64 = 1e-4;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/synth_fronts.json")
+}
+
+fn synth_fronts() -> Vec<GoldenPoint> {
+    let presets = [mini(2, 2), mini3(2, 2, 2)];
+    let space = SearchSpace {
+        msg_sizes: vec![16 * 1024, 256 * 1024, 2 << 20],
+        seg_sizes: vec![32 * 1024, 256 * 1024],
+        inter: vec![
+            (InterModule::Libnbc, InterAlg::Binomial),
+            (InterModule::Adapt, InterAlg::Binomial),
+            (InterModule::Adapt, InterAlg::Chain),
+        ],
+        intra: vec![IntraModule::Sm, IntraModule::Solo],
+    };
+    let mut out = Vec::new();
+    for preset in &presets {
+        let r = synthesize(
+            preset,
+            &space,
+            &[Coll::Bcast, Coll::Allreduce, Coll::Reduce],
+            SynthOpts::default(),
+        );
+        assert!(r.skipped.is_empty(), "unexpected skips: {:?}", r.skipped);
+        for f in &r.fronts {
+            for p in &f.points {
+                out.push(GoldenPoint {
+                    preset: preset.name.to_string(),
+                    coll: f.coll.name().to_string(),
+                    m: f.m,
+                    cfg: p.cfg.to_string(),
+                    menu: p.menu,
+                    lat_ps: p.lat_ps,
+                    bw_ps: p.bw_ps,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn synth_front_matches_golden() {
+    let got = synth_fronts();
+    let path = golden_path();
+    if std::env::var("HAN_BLESS").is_ok() {
+        let json = serde_json::to_string_pretty(&got).unwrap();
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, json + "\n").unwrap();
+        println!("blessed {} points into {}", got.len(), path.display());
+        return;
+    }
+    let golden: Vec<GoldenPoint> =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); run HAN_BLESS=1",
+                path.display()
+            )
+        }))
+        .expect("golden file parses");
+
+    assert_eq!(
+        got.len(),
+        golden.len(),
+        "front point count changed (got {}, golden {})",
+        got.len(),
+        golden.len()
+    );
+    for (g, want) in got.iter().zip(&golden) {
+        assert_eq!(
+            (g.preset.as_str(), g.coll.as_str(), g.m),
+            (want.preset.as_str(), want.coll.as_str(), want.m),
+            "fronts reordered"
+        );
+        assert_eq!(
+            (g.cfg.as_str(), g.menu),
+            (want.cfg.as_str(), want.menu),
+            "front point changed for {}/{} m={}: got [{}], golden [{}]",
+            g.preset,
+            g.coll,
+            g.m,
+            g.cfg,
+            want.cfg
+        );
+        for (what, gv, wv) in [("lat", g.lat_ps, want.lat_ps), ("bw", g.bw_ps, want.bw_ps)] {
+            let rel = (gv as f64 - wv as f64).abs() / (wv.max(1) as f64);
+            assert!(
+                rel <= COST_RTOL,
+                "{what} cost drifted for {}/{} m={} [{}]: got {gv} ps, golden {wv} ps (rel {rel:.2e})",
+                g.preset,
+                g.coll,
+                g.m,
+                g.cfg
+            );
+        }
+    }
+}

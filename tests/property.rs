@@ -35,6 +35,7 @@ fn arb_config() -> impl proptest::strategy::Strategy<Value = HanConfig> {
             ibs: None,
             irs: None,
             deep: [None; han::core::MAX_DEEP],
+            route: None,
         })
 }
 

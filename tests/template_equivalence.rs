@@ -34,6 +34,7 @@ fn arb_config() -> impl proptest::strategy::Strategy<Value = HanConfig> {
             ibs,
             irs,
             deep: [None; han::core::MAX_DEEP],
+            route: None,
         })
 }
 
